@@ -1,0 +1,600 @@
+//! Class-file serialization: produces the on-disk byte image of each
+//! class in the JVM class-file format (constant pool with symbolic
+//! linking information, field/method members, Code attributes with
+//! exception tables). Figure 5 compares these byte sizes against the
+//! SafeTSA wire format.
+//!
+//! The emitted files use real JVM structure and instruction encodings;
+//! they are not meant to load in a production JVM (constant-pool
+//! details like `StackMapTable` are omitted, matching the paper's
+//! JDK-1.2-era `javac -g:none` output, which predates stack maps).
+
+use crate::compile::CompiledProgram;
+use crate::opcode::{ArrayKind, Op};
+use safetsa_frontend::hir::{ClassIdx, PrimTy, Program, Ty};
+use std::collections::HashMap;
+
+/// A constant-pool builder with interning.
+#[derive(Debug, Default)]
+struct Pool {
+    entries: Vec<PoolEntry>,
+    index: HashMap<PoolEntry, u16>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PoolEntry {
+    Utf8(String),
+    Integer(i32),
+    Float(u32),
+    Long(i64),
+    Double(u64),
+    Class(u16),
+    Str(u16),
+    NameAndType(u16, u16),
+    FieldRef(u16, u16),
+    MethodRef(u16, u16),
+}
+
+impl Pool {
+    fn add(&mut self, e: PoolEntry) -> u16 {
+        if let Some(&i) = self.index.get(&e) {
+            return i;
+        }
+        // Longs/doubles take two constant-pool slots (JVM quirk).
+        let wide = matches!(e, PoolEntry::Long(_) | PoolEntry::Double(_));
+        let i = (self.entries.len() + 1) as u16;
+        self.entries.push(e.clone());
+        if wide {
+            self.entries.push(PoolEntry::Utf8(String::new())); // placeholder slot
+        }
+        self.index.insert(e, i);
+        i
+    }
+
+    fn utf8(&mut self, s: &str) -> u16 {
+        self.add(PoolEntry::Utf8(s.to_string()))
+    }
+
+    fn class(&mut self, name: &str) -> u16 {
+        let n = self.utf8(name);
+        self.add(PoolEntry::Class(n))
+    }
+
+    fn string(&mut self, s: &str) -> u16 {
+        let n = self.utf8(s);
+        self.add(PoolEntry::Str(n))
+    }
+
+    fn name_and_type(&mut self, name: &str, desc: &str) -> u16 {
+        let n = self.utf8(name);
+        let d = self.utf8(desc);
+        self.add(PoolEntry::NameAndType(n, d))
+    }
+
+    fn field_ref(&mut self, class: &str, name: &str, desc: &str) -> u16 {
+        let c = self.class(class);
+        let nt = self.name_and_type(name, desc);
+        self.add(PoolEntry::FieldRef(c, nt))
+    }
+
+    fn method_ref(&mut self, class: &str, name: &str, desc: &str) -> u16 {
+        let c = self.class(class);
+        let nt = self.name_and_type(name, desc);
+        self.add(PoolEntry::MethodRef(c, nt))
+    }
+
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&((self.entries.len() + 1) as u16).to_be_bytes());
+        let mut skip = false;
+        for e in &self.entries {
+            if skip {
+                skip = false;
+                continue;
+            }
+            match e {
+                PoolEntry::Utf8(s) => {
+                    out.push(1);
+                    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+                PoolEntry::Integer(v) => {
+                    out.push(3);
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                PoolEntry::Float(v) => {
+                    out.push(4);
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                PoolEntry::Long(v) => {
+                    out.push(5);
+                    out.extend_from_slice(&v.to_be_bytes());
+                    skip = true;
+                }
+                PoolEntry::Double(v) => {
+                    out.push(6);
+                    out.extend_from_slice(&v.to_be_bytes());
+                    skip = true;
+                }
+                PoolEntry::Class(n) => {
+                    out.push(7);
+                    out.extend_from_slice(&n.to_be_bytes());
+                }
+                PoolEntry::Str(n) => {
+                    out.push(8);
+                    out.extend_from_slice(&n.to_be_bytes());
+                }
+                PoolEntry::FieldRef(c, nt) => {
+                    out.push(9);
+                    out.extend_from_slice(&c.to_be_bytes());
+                    out.extend_from_slice(&nt.to_be_bytes());
+                }
+                PoolEntry::MethodRef(c, nt) => {
+                    out.push(10);
+                    out.extend_from_slice(&c.to_be_bytes());
+                    out.extend_from_slice(&nt.to_be_bytes());
+                }
+                PoolEntry::NameAndType(n, d) => {
+                    out.push(12);
+                    out.extend_from_slice(&n.to_be_bytes());
+                    out.extend_from_slice(&d.to_be_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// JVM type descriptor for a semantic type.
+pub fn descriptor(prog: &Program, ty: &Ty) -> String {
+    match ty {
+        Ty::Prim(PrimTy::Bool) => "Z".into(),
+        Ty::Prim(PrimTy::Char) => "C".into(),
+        Ty::Prim(PrimTy::Int) => "I".into(),
+        Ty::Prim(PrimTy::Long) => "J".into(),
+        Ty::Prim(PrimTy::Float) => "F".into(),
+        Ty::Prim(PrimTy::Double) => "D".into(),
+        Ty::Ref(c) => format!("L{};", prog.class(*c).name),
+        Ty::Array(e) => format!("[{}", descriptor(prog, e)),
+        Ty::Null => "Ljava/lang/Object;".into(),
+        Ty::Void => "V".into(),
+    }
+}
+
+/// Method descriptor `(args)ret`.
+pub fn method_descriptor(prog: &Program, params: &[Ty], ret: &Ty) -> String {
+    let mut s = String::from("(");
+    for p in params {
+        s.push_str(&descriptor(prog, p));
+    }
+    s.push(')');
+    s.push_str(&descriptor(prog, ret));
+    s
+}
+
+/// Serializes one class to class-file bytes.
+pub fn serialize_class(prog: &Program, compiled: &CompiledProgram, class: ClassIdx) -> Vec<u8> {
+    let c = prog.class(class);
+    let mut pool = Pool::default();
+    let this_idx = pool.class(&c.name);
+    let super_idx = match c.superclass {
+        Some(s) => pool.class(&prog.class(s).name),
+        None => 0,
+    };
+    let code_attr = pool.utf8("Code");
+
+    // Pre-intern member symbols and collect method bodies.
+    /// `(start, end, handler, class)` exception-table rows.
+    type ExRows = Vec<(u16, u16, u16, u16)>;
+    struct MethodOut {
+        name_idx: u16,
+        desc_idx: u16,
+        code: Option<(Vec<u8>, u16, u16, ExRows)>,
+    }
+    let mut methods_out = Vec::new();
+    for (mi, m) in c.methods.iter().enumerate() {
+        let name_idx = pool.utf8(&m.name);
+        let desc = method_descriptor(prog, &m.params, &m.ret);
+        let desc_idx = pool.utf8(&desc);
+        let code = compiled.code(class, mi).map(|code| {
+            // Encode instructions: compute byte offsets first.
+            let mut offsets = Vec::with_capacity(code.ops.len() + 1);
+            let mut off = 0u32;
+            for op in &code.ops {
+                offsets.push(off);
+                off += op.encoded_len() as u32;
+            }
+            offsets.push(off);
+            let mut bytes = Vec::with_capacity(off as usize);
+            for (i, op) in code.ops.iter().enumerate() {
+                encode_op(prog, &mut pool, op, code, offsets[i], &offsets, &mut bytes);
+            }
+            let ex: Vec<(u16, u16, u16, u16)> = code
+                .ex_table
+                .iter()
+                .map(|e| {
+                    let cls = pool.class(&prog.class(e.class).name);
+                    (
+                        offsets[e.start as usize] as u16,
+                        offsets[e.end as usize] as u16,
+                        offsets[e.handler as usize] as u16,
+                        cls,
+                    )
+                })
+                .collect();
+            (bytes, code.max_stack, code.max_locals, ex)
+        });
+        methods_out.push(MethodOut {
+            name_idx,
+            desc_idx,
+            code,
+        });
+    }
+    let mut fields_out = Vec::new();
+    for f in &c.fields {
+        let name_idx = pool.utf8(&f.name);
+        let desc = descriptor(prog, &f.ty);
+        let desc_idx = pool.utf8(&desc);
+        let access: u16 = if f.is_static { 0x0008 } else { 0x0000 };
+        fields_out.push((access, name_idx, desc_idx));
+    }
+
+    // Assemble the file.
+    let mut out = Vec::new();
+    out.extend_from_slice(&0xCAFE_BABEu32.to_be_bytes());
+    out.extend_from_slice(&46u32.to_be_bytes()); // minor/major (Java 1.2)
+    pool.serialize(&mut out);
+    out.extend_from_slice(&0x0021u16.to_be_bytes()); // ACC_PUBLIC | ACC_SUPER
+    out.extend_from_slice(&this_idx.to_be_bytes());
+    out.extend_from_slice(&super_idx.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes()); // interfaces
+    out.extend_from_slice(&(fields_out.len() as u16).to_be_bytes());
+    for (access, n, d) in fields_out {
+        out.extend_from_slice(&access.to_be_bytes());
+        out.extend_from_slice(&n.to_be_bytes());
+        out.extend_from_slice(&d.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // attributes
+    }
+    out.extend_from_slice(&(methods_out.len() as u16).to_be_bytes());
+    for m in methods_out {
+        out.extend_from_slice(&0x0001u16.to_be_bytes()); // ACC_PUBLIC
+        out.extend_from_slice(&m.name_idx.to_be_bytes());
+        out.extend_from_slice(&m.desc_idx.to_be_bytes());
+        match m.code {
+            None => out.extend_from_slice(&0u16.to_be_bytes()),
+            Some((bytes, max_stack, max_locals, ex)) => {
+                out.extend_from_slice(&1u16.to_be_bytes());
+                out.extend_from_slice(&code_attr.to_be_bytes());
+                let attr_len = 2 + 2 + 4 + bytes.len() + 2 + ex.len() * 8 + 2;
+                out.extend_from_slice(&(attr_len as u32).to_be_bytes());
+                out.extend_from_slice(&max_stack.to_be_bytes());
+                out.extend_from_slice(&max_locals.to_be_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                out.extend_from_slice(&bytes);
+                out.extend_from_slice(&(ex.len() as u16).to_be_bytes());
+                for (s, e, h, cidx) in ex {
+                    out.extend_from_slice(&s.to_be_bytes());
+                    out.extend_from_slice(&e.to_be_bytes());
+                    out.extend_from_slice(&h.to_be_bytes());
+                    out.extend_from_slice(&cidx.to_be_bytes());
+                }
+                out.extend_from_slice(&0u16.to_be_bytes()); // code attributes
+            }
+        }
+    }
+    out.extend_from_slice(&0u16.to_be_bytes()); // class attributes
+    out
+}
+
+/// Total class-file bytes for every user class.
+pub fn total_size(prog: &Program, compiled: &CompiledProgram) -> usize {
+    prog.classes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_builtin)
+        .map(|(i, _)| serialize_class(prog, compiled, i).len())
+        .sum()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_op(
+    prog: &Program,
+    pool: &mut Pool,
+    op: &Op,
+    code: &crate::opcode::Code,
+    at: u32,
+    offsets: &[u32],
+    out: &mut Vec<u8>,
+) {
+    use Op::*;
+    let start = out.len();
+    let branch16 = |out: &mut Vec<u8>, opcode: u8, target: u32| {
+        out.push(opcode);
+        let delta = offsets[target as usize] as i64 - at as i64;
+        out.extend_from_slice(&(delta as i16).to_be_bytes());
+    };
+    match op {
+        IConst(v) => match *v {
+            -1..=5 => out.push((3 + *v) as u8),
+            -128..=127 => {
+                out.push(0x10);
+                out.push(*v as u8);
+            }
+            -32768..=32767 => {
+                out.push(0x11);
+                out.extend_from_slice(&(*v as i16).to_be_bytes());
+            }
+            _ => {
+                let idx = pool.add(PoolEntry::Integer(*v));
+                out.push(0x13);
+                out.extend_from_slice(&idx.to_be_bytes());
+            }
+        },
+        LConst(v) => match *v {
+            0 | 1 => out.push((9 + *v) as u8),
+            _ => {
+                let idx = pool.add(PoolEntry::Long(*v));
+                out.push(0x14);
+                out.extend_from_slice(&idx.to_be_bytes());
+            }
+        },
+        FConst(v) => {
+            if *v == 0.0 || *v == 1.0 || *v == 2.0 {
+                out.push(0x0b + *v as u8);
+            } else {
+                let idx = pool.add(PoolEntry::Float(v.to_bits()));
+                out.push(0x13);
+                out.extend_from_slice(&idx.to_be_bytes());
+            }
+        }
+        DConst(v) => {
+            if *v == 0.0 || *v == 1.0 {
+                out.push(0x0e + *v as u8);
+            } else {
+                let idx = pool.add(PoolEntry::Double(v.to_bits()));
+                out.push(0x14);
+                out.extend_from_slice(&idx.to_be_bytes());
+            }
+        }
+        SConst(i) => {
+            let s = &code.strings[*i as usize];
+            let idx = pool.string(s);
+            if idx < 256 {
+                out.push(0x12);
+                out.push(idx as u8);
+            } else {
+                out.push(0x13);
+                out.extend_from_slice(&idx.to_be_bytes());
+            }
+        }
+        AConstNull => out.push(0x01),
+        ILoad(s) | LLoad(s) | FLoad(s) | DLoad(s) | ALoad(s) => {
+            let base: u8 = match op {
+                ILoad(_) => 0x15,
+                LLoad(_) => 0x16,
+                FLoad(_) => 0x17,
+                DLoad(_) => 0x18,
+                _ => 0x19,
+            };
+            encode_slot(out, base, *s);
+        }
+        IStore(s) | LStore(s) | FStore(s) | DStore(s) | AStore(s) => {
+            let base: u8 = match op {
+                IStore(_) => 0x36,
+                LStore(_) => 0x37,
+                FStore(_) => 0x38,
+                DStore(_) => 0x39,
+                _ => 0x3a,
+            };
+            encode_slot(out, base, *s);
+        }
+        IInc(s, c) => {
+            if *s < 256 && (-128..=127).contains(c) {
+                out.push(0x84);
+                out.push(*s as u8);
+                out.push(*c as u8);
+            } else {
+                out.push(0xc4);
+                out.push(0x84);
+                out.extend_from_slice(&s.to_be_bytes());
+                out.extend_from_slice(&c.to_be_bytes());
+            }
+        }
+        Pop => out.push(0x57),
+        Pop2 => out.push(0x58),
+        Dup => out.push(0x59),
+        DupX1 => out.push(0x5a),
+        DupX2 => out.push(0x5b),
+        Dup2 => out.push(0x5c),
+        Dup2X1 => out.push(0x5d),
+        Dup2X2 => out.push(0x5e),
+        Swap => out.push(0x5f),
+        IAdd => out.push(0x60),
+        LAdd => out.push(0x61),
+        FAdd => out.push(0x62),
+        DAdd => out.push(0x63),
+        ISub => out.push(0x64),
+        LSub => out.push(0x65),
+        FSub => out.push(0x66),
+        DSub => out.push(0x67),
+        IMul => out.push(0x68),
+        LMul => out.push(0x69),
+        FMul => out.push(0x6a),
+        DMul => out.push(0x6b),
+        IDiv => out.push(0x6c),
+        LDiv => out.push(0x6d),
+        FDiv => out.push(0x6e),
+        DDiv => out.push(0x6f),
+        IRem => out.push(0x70),
+        LRem => out.push(0x71),
+        FRem => out.push(0x72),
+        DRem => out.push(0x73),
+        INeg => out.push(0x74),
+        LNeg => out.push(0x75),
+        FNeg => out.push(0x76),
+        DNeg => out.push(0x77),
+        IShl => out.push(0x78),
+        LShl => out.push(0x79),
+        IShr => out.push(0x7a),
+        LShr => out.push(0x7b),
+        IUshr => out.push(0x7c),
+        LUshr => out.push(0x7d),
+        IAnd => out.push(0x7e),
+        LAnd => out.push(0x7f),
+        IOr => out.push(0x80),
+        LOr => out.push(0x81),
+        IXor => out.push(0x82),
+        LXor => out.push(0x83),
+        I2L => out.push(0x85),
+        I2F => out.push(0x86),
+        I2D => out.push(0x87),
+        L2I => out.push(0x88),
+        L2F => out.push(0x89),
+        L2D => out.push(0x8a),
+        F2I => out.push(0x8b),
+        F2L => out.push(0x8c),
+        F2D => out.push(0x8d),
+        D2I => out.push(0x8e),
+        D2L => out.push(0x8f),
+        D2F => out.push(0x90),
+        I2C => out.push(0x92),
+        LCmp => out.push(0x94),
+        FCmpL => out.push(0x95),
+        FCmpG => out.push(0x96),
+        DCmpL => out.push(0x97),
+        DCmpG => out.push(0x98),
+        IfEq(t) => branch16(out, 0x99, *t),
+        IfNe(t) => branch16(out, 0x9a, *t),
+        IfLt(t) => branch16(out, 0x9b, *t),
+        IfGe(t) => branch16(out, 0x9c, *t),
+        IfGt(t) => branch16(out, 0x9d, *t),
+        IfLe(t) => branch16(out, 0x9e, *t),
+        IfICmpEq(t) => branch16(out, 0x9f, *t),
+        IfICmpNe(t) => branch16(out, 0xa0, *t),
+        IfICmpLt(t) => branch16(out, 0xa1, *t),
+        IfICmpGe(t) => branch16(out, 0xa2, *t),
+        IfICmpGt(t) => branch16(out, 0xa3, *t),
+        IfICmpLe(t) => branch16(out, 0xa4, *t),
+        IfACmpEq(t) => branch16(out, 0xa5, *t),
+        IfACmpNe(t) => branch16(out, 0xa6, *t),
+        Goto(t) => branch16(out, 0xa7, *t),
+        IfNull(t) => branch16(out, 0xc6, *t),
+        IfNonNull(t) => branch16(out, 0xc7, *t),
+        NewArray(kind, tid) => match kind {
+            ArrayKind::Ref => {
+                let elem_name = match &code.types[*tid as usize] {
+                    Ty::Array(e) => descriptor(prog, e),
+                    other => descriptor(prog, other),
+                };
+                let idx = pool.class(&elem_name);
+                out.push(0xbd);
+                out.extend_from_slice(&idx.to_be_bytes());
+            }
+            _ => {
+                out.push(0xbc);
+                out.push(match kind {
+                    ArrayKind::Bool => 4,
+                    ArrayKind::Char => 5,
+                    ArrayKind::Float => 6,
+                    ArrayKind::Double => 7,
+                    ArrayKind::Int => 10,
+                    ArrayKind::Long => 11,
+                    ArrayKind::Ref => unreachable!(),
+                });
+            }
+        },
+        ArrayLength => out.push(0xbe),
+        IALoad => out.push(0x2e),
+        LALoad => out.push(0x2f),
+        FALoad => out.push(0x30),
+        DALoad => out.push(0x31),
+        AALoad => out.push(0x32),
+        BALoad => out.push(0x33),
+        CALoad => out.push(0x34),
+        IAStore => out.push(0x4f),
+        LAStore => out.push(0x50),
+        FAStore => out.push(0x51),
+        DAStore => out.push(0x52),
+        AAStore => out.push(0x53),
+        BAStore => out.push(0x54),
+        CAStore => out.push(0x55),
+        New(c) => {
+            let idx = pool.class(&prog.class(*c).name);
+            out.push(0xbb);
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        GetField(c, f) | PutField(c, f) | GetStatic(c, f) | PutStatic(c, f) => {
+            let field = prog.field(*c, *f);
+            let desc = descriptor(prog, &field.ty);
+            let idx = pool.field_ref(&prog.class(*c).name, &field.name, &desc);
+            out.push(match op {
+                GetStatic(_, _) => 0xb2,
+                PutStatic(_, _) => 0xb3,
+                GetField(_, _) => 0xb4,
+                _ => 0xb5,
+            });
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        InvokeVirtual(c, m) | InvokeSpecial(c, m) | InvokeStatic(c, m) => {
+            let meta = prog.method(*c, *m);
+            let desc = method_descriptor(prog, &meta.params, &meta.ret);
+            let idx = pool.method_ref(&prog.class(*c).name, &meta.name, &desc);
+            out.push(match op {
+                InvokeVirtual(_, _) => 0xb6,
+                InvokeSpecial(_, _) => 0xb7,
+                _ => 0xb8,
+            });
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        CheckCast(t) | InstanceOf(t) => {
+            let name = descriptor(prog, &code.types[*t as usize]);
+            let idx = pool.class(&name);
+            out.push(if matches!(op, CheckCast(_)) {
+                0xc0
+            } else {
+                0xc1
+            });
+            out.extend_from_slice(&idx.to_be_bytes());
+        }
+        AThrow => out.push(0xbf),
+        IReturn => out.push(0xac),
+        LReturn => out.push(0xad),
+        FReturn => out.push(0xae),
+        DReturn => out.push(0xaf),
+        AReturn => out.push(0xb0),
+        Return => out.push(0xb1),
+    }
+    debug_assert_eq!(
+        out.len() - start,
+        op.encoded_len(),
+        "encoded length mismatch for {op:?}"
+    );
+}
+
+fn encode_slot(out: &mut Vec<u8>, base: u8, slot: u16) {
+    match slot {
+        0..=3 => {
+            // xload_<n> opcodes are laid out in blocks of 4 after 0x1a.
+            let block = match base {
+                0x15 => 0x1a, // iload_0
+                0x16 => 0x1e,
+                0x17 => 0x22,
+                0x18 => 0x26,
+                0x19 => 0x2a,
+                0x36 => 0x3b, // istore_0
+                0x37 => 0x3f,
+                0x38 => 0x43,
+                0x39 => 0x47,
+                _ => 0x4b,
+            };
+            out.push(block + slot as u8);
+        }
+        4..=255 => {
+            out.push(base);
+            out.push(slot as u8);
+        }
+        _ => {
+            out.push(0xc4); // wide
+            out.push(base);
+            out.extend_from_slice(&slot.to_be_bytes());
+        }
+    }
+}

@@ -1,0 +1,959 @@
+//! HIR → stack-code compiler, in the straightforward javac style the
+//! paper's measurements assume (`javac -g:none`): no optimization, one
+//! pass, `iinc` peephole, branch-form compilation of boolean
+//! expressions, bottom-tested loops.
+
+use crate::opcode::{ArrayKind, Code, ExTableEntry, Label, Op};
+use safetsa_frontend::hir::{
+    BinOp, Body, Class, ClassIdx, Expr, ExprKind, Lit, MethodIdx, MethodKind, PrimTy, Program,
+    Stmt, Ty, UnOp,
+};
+use std::collections::HashMap;
+
+/// A whole compiled program: code per `(class, method)` with a body.
+#[derive(Debug, Default)]
+pub struct CompiledProgram {
+    /// Compiled bodies.
+    pub methods: HashMap<(ClassIdx, MethodIdx), Code>,
+}
+
+impl CompiledProgram {
+    /// Looks up a compiled body.
+    pub fn code(&self, class: ClassIdx, method: MethodIdx) -> Option<&Code> {
+        self.methods.get(&(class, method))
+    }
+
+    /// Total instruction count (Figure 5 metric).
+    pub fn instr_count(&self) -> usize {
+        self.methods.values().map(|c| c.instr_count()).sum()
+    }
+}
+
+/// Compiles every user method body; `max_stack` is filled in by running
+/// the dataflow analysis of [`crate::verify`] afterwards.
+pub fn compile_program(prog: &Program) -> CompiledProgram {
+    let mut out = CompiledProgram::default();
+    for (ci, class) in prog.classes.iter().enumerate() {
+        for (mi, method) in class.methods.iter().enumerate() {
+            if let Some(body) = &method.body {
+                let code = compile_method(prog, class, body, method.kind);
+                out.methods.insert((ci, mi), code);
+            }
+        }
+    }
+    out
+}
+
+/// Slot width of a type (long/double take two JVM slots).
+fn width(ty: &Ty) -> u16 {
+    match ty {
+        Ty::Prim(PrimTy::Long | PrimTy::Double) => 2,
+        Ty::Void => 0,
+        _ => 1,
+    }
+}
+
+fn compile_method(prog: &Program, _class: &Class, body: &Body, _kind: MethodKind) -> Code {
+    let mut slots = Vec::with_capacity(body.locals.len());
+    let mut next = 0u16;
+    for l in &body.locals {
+        slots.push(next);
+        next += width(&l.ty);
+    }
+    let mut c = C {
+        prog,
+        body,
+        ops: Vec::new(),
+        ex_table: Vec::new(),
+        strings: Vec::new(),
+        string_ids: HashMap::new(),
+        types: Vec::new(),
+        slots,
+        max_locals: next,
+        labels: Vec::new(),
+        loops: Vec::new(),
+    };
+    c.stmts(&body.stmts);
+    // Ensure the method ends with a return (void fall-through).
+    if c.falls_into_next() {
+        c.ops.push(Op::Return);
+    }
+    c.patch_labels();
+    Code {
+        ops: c.ops,
+        ex_table: c.ex_table,
+        max_stack: 0, // filled by the dataflow analysis
+        max_locals: c.max_locals,
+        strings: c.strings,
+        types: c.types,
+    }
+}
+
+struct LoopCtx {
+    continue_label: usize,
+    break_label: usize,
+}
+
+struct C<'a> {
+    prog: &'a Program,
+    body: &'a Body,
+    ops: Vec<Op>,
+    ex_table: Vec<ExTableEntry>,
+    strings: Vec<String>,
+    string_ids: HashMap<String, u32>,
+    types: Vec<Ty>,
+    slots: Vec<u16>,
+    max_locals: u16,
+    /// Label table: position once bound.
+    labels: Vec<Option<u32>>,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> C<'a> {
+    fn emit(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, l: usize) {
+        debug_assert!(self.labels[l].is_none(), "label bound twice");
+        self.labels[l] = Some(self.ops.len() as u32);
+    }
+
+    /// Emits a branch whose target is patched later; the label id is
+    /// stored in the target field with a high-bit marker.
+    fn emit_branch(&mut self, mut op: Op, label: usize) {
+        op.set_branch_target(LABEL_MARK | label as Label);
+        self.ops.push(op);
+    }
+
+    fn patch_labels(&mut self) {
+        for op in &mut self.ops {
+            if let Some(t) = op.branch_target() {
+                if t & LABEL_MARK != 0 {
+                    let l = (t & !LABEL_MARK) as usize;
+                    let pos = self.labels[l].expect("label bound");
+                    op.set_branch_target(pos);
+                }
+            }
+        }
+    }
+
+    fn type_id(&mut self, t: &Ty) -> u32 {
+        if let Some(i) = self.types.iter().position(|x| x == t) {
+            return i as u32;
+        }
+        self.types.push(t.clone());
+        (self.types.len() - 1) as u32
+    }
+
+    fn string_id(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.string_ids.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.string_ids.insert(s.to_string(), i);
+        i
+    }
+
+    /// Whether control can reach the current end of the code: the last
+    /// instruction falls through, or some label is bound right here
+    /// (a branch from inside an earlier construct lands at this point).
+    fn falls_into_next(&self) -> bool {
+        let here = self.ops.len() as u32;
+        !self.ops.last().map(Op::is_terminator).unwrap_or(false)
+            || self.labels.contains(&Some(here))
+    }
+
+    fn slot(&self, local: usize) -> u16 {
+        self.slots[local]
+    }
+
+    fn local_ty(&self, local: usize) -> &Ty {
+        &self.body.locals[local].ty
+    }
+
+    // ------------------------------------------------------ statements
+
+    fn stmts(&mut self, list: &[Stmt]) {
+        for s in list {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Expr(e) => self.expr_for_effect(e),
+            Stmt::If { cond, then, els } => {
+                let else_l = self.new_label();
+                self.branch(cond, false, else_l);
+                self.stmts(then);
+                if els.is_empty() {
+                    self.bind(else_l);
+                } else {
+                    let end = self.new_label();
+                    if self.falls_into_next() {
+                        self.emit_branch(Op::Goto(0), end);
+                    }
+                    self.bind(else_l);
+                    self.stmts(els);
+                    self.bind(end);
+                }
+            }
+            Stmt::While { cond, body } => {
+                // javac shape: goto cond; body: …; cond: if(cond) goto body
+                let cond_l = self.new_label();
+                let body_l = self.new_label();
+                let end_l = self.new_label();
+                self.emit_branch(Op::Goto(0), cond_l);
+                self.bind(body_l);
+                self.loops.push(LoopCtx {
+                    continue_label: cond_l,
+                    break_label: end_l,
+                });
+                self.stmts(body);
+                self.loops.pop();
+                self.bind(cond_l);
+                self.branch(cond, true, body_l);
+                self.bind(end_l);
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_l = self.new_label();
+                let cond_l = self.new_label();
+                let end_l = self.new_label();
+                self.bind(body_l);
+                self.loops.push(LoopCtx {
+                    continue_label: cond_l,
+                    break_label: end_l,
+                });
+                self.stmts(body);
+                self.loops.pop();
+                self.bind(cond_l);
+                self.branch(cond, true, body_l);
+                self.bind(end_l);
+            }
+            Stmt::For { cond, update, body } => {
+                let cond_l = self.new_label();
+                let body_l = self.new_label();
+                let update_l = self.new_label();
+                let end_l = self.new_label();
+                self.emit_branch(Op::Goto(0), cond_l);
+                self.bind(body_l);
+                self.loops.push(LoopCtx {
+                    continue_label: update_l,
+                    break_label: end_l,
+                });
+                self.stmts(body);
+                self.loops.pop();
+                self.bind(update_l);
+                for u in update {
+                    self.expr_for_effect(u);
+                }
+                self.bind(cond_l);
+                match cond {
+                    Some(c) => self.branch(c, true, body_l),
+                    None => self.emit_branch(Op::Goto(0), body_l),
+                }
+                self.bind(end_l);
+            }
+            Stmt::Break { depth } => {
+                let idx = self.loops.len() - 1 - depth;
+                let l = self.loops[idx].break_label;
+                self.emit_branch(Op::Goto(0), l);
+            }
+            Stmt::Continue { depth } => {
+                let idx = self.loops.len() - 1 - depth;
+                let l = self.loops[idx].continue_label;
+                self.emit_branch(Op::Goto(0), l);
+            }
+            Stmt::Return(e) => match e {
+                None => self.emit(Op::Return),
+                Some(e) => {
+                    self.expr(e);
+                    self.emit(match &e.ty {
+                        Ty::Prim(PrimTy::Long) => Op::LReturn,
+                        Ty::Prim(PrimTy::Float) => Op::FReturn,
+                        Ty::Prim(PrimTy::Double) => Op::DReturn,
+                        Ty::Prim(_) => Op::IReturn,
+                        _ => Op::AReturn,
+                    });
+                }
+            },
+            Stmt::Throw(e) => {
+                self.expr(e);
+                self.emit(Op::AThrow);
+            }
+            Stmt::Try {
+                body,
+                catches,
+                finally,
+            } => {
+                debug_assert!(finally.is_none(), "finally desugared by sema");
+                let start = self.ops.len() as u32;
+                self.stmts(body);
+                let end = self.ops.len() as u32;
+                let after = self.new_label();
+                if self.falls_into_next() {
+                    self.emit_branch(Op::Goto(0), after);
+                }
+                for arm in catches {
+                    let handler = self.ops.len() as u32;
+                    self.ex_table.push(ExTableEntry {
+                        start,
+                        end,
+                        handler,
+                        class: arm.class,
+                    });
+                    self.emit(Op::AStore(self.slot(arm.local)));
+                    self.stmts(&arm.body);
+                    if self.falls_into_next() {
+                        self.emit_branch(Op::Goto(0), after);
+                    }
+                }
+                self.bind(after);
+            }
+        }
+    }
+
+    // --------------------------------------------- boolean branch form
+
+    /// Compiles `e` as control flow: jumps to `target` when the value
+    /// equals `jump_if`, falls through otherwise (javac's genCond).
+    fn branch(&mut self, e: &Expr, jump_if: bool, target: usize) {
+        match &e.kind {
+            ExprKind::Lit(Lit::Bool(b)) => {
+                if *b == jump_if {
+                    self.emit_branch(Op::Goto(0), target);
+                }
+            }
+            ExprKind::Unary {
+                op: UnOp::Not,
+                expr,
+                ..
+            } => self.branch(expr, !jump_if, target),
+            ExprKind::And { l, r } => {
+                if jump_if {
+                    // both must hold: l false → skip
+                    let skip = self.new_label();
+                    self.branch(l, false, skip);
+                    self.branch(r, true, target);
+                    self.bind(skip);
+                } else {
+                    self.branch(l, false, target);
+                    self.branch(r, false, target);
+                }
+            }
+            ExprKind::Or { l, r } => {
+                if jump_if {
+                    self.branch(l, true, target);
+                    self.branch(r, true, target);
+                } else {
+                    let skip = self.new_label();
+                    self.branch(l, true, skip);
+                    self.branch(r, false, target);
+                    self.bind(skip);
+                }
+            }
+            ExprKind::Binary { op, prim, l, r } if op.is_comparison() => {
+                self.compare_branch(*op, *prim, l, r, jump_if, target);
+            }
+            ExprKind::RefCmp { l, r, eq } => {
+                // null comparisons use ifnull/ifnonnull
+                let lnull = matches!(l.kind, ExprKind::Lit(Lit::Null))
+                    || matches!(l.kind, ExprKind::CastRef { ref expr, .. } if matches!(expr.kind, ExprKind::Lit(Lit::Null)));
+                let rnull = matches!(r.kind, ExprKind::Lit(Lit::Null))
+                    || matches!(r.kind, ExprKind::CastRef { ref expr, .. } if matches!(expr.kind, ExprKind::Lit(Lit::Null)));
+                if rnull && !lnull {
+                    self.expr(l);
+                    let want_eq = *eq == jump_if;
+                    self.emit_branch(
+                        if want_eq {
+                            Op::IfNull(0)
+                        } else {
+                            Op::IfNonNull(0)
+                        },
+                        target,
+                    );
+                } else if lnull && !rnull {
+                    self.expr(r);
+                    let want_eq = *eq == jump_if;
+                    self.emit_branch(
+                        if want_eq {
+                            Op::IfNull(0)
+                        } else {
+                            Op::IfNonNull(0)
+                        },
+                        target,
+                    );
+                } else {
+                    self.expr(l);
+                    self.expr(r);
+                    let want_eq = *eq == jump_if;
+                    self.emit_branch(
+                        if want_eq {
+                            Op::IfACmpEq(0)
+                        } else {
+                            Op::IfACmpNe(0)
+                        },
+                        target,
+                    );
+                }
+            }
+            _ => {
+                // Generic boolean value: compare against zero.
+                self.expr(e);
+                self.emit_branch(if jump_if { Op::IfNe(0) } else { Op::IfEq(0) }, target);
+            }
+        }
+    }
+
+    fn compare_branch(
+        &mut self,
+        op: BinOp,
+        prim: PrimTy,
+        l: &Expr,
+        r: &Expr,
+        jump_if: bool,
+        target: usize,
+    ) {
+        // Effective operator when the branch is taken.
+        let eff = if jump_if { op } else { negate_cmp(op) };
+        match prim {
+            PrimTy::Int | PrimTy::Char | PrimTy::Bool => {
+                // `x op 0` uses the single-operand forms.
+                let rzero = matches!(r.kind, ExprKind::Lit(Lit::Int(0)));
+                self.expr(l);
+                if rzero {
+                    self.emit_branch(zero_cmp_op(eff), target);
+                } else {
+                    self.expr(r);
+                    self.emit_branch(icmp_op(eff), target);
+                }
+            }
+            PrimTy::Long => {
+                self.expr(l);
+                self.expr(r);
+                self.emit(Op::LCmp);
+                self.emit_branch(zero_cmp_op(eff), target);
+            }
+            PrimTy::Float => {
+                self.expr(l);
+                self.expr(r);
+                // NaN discipline: < and <= must not jump on NaN.
+                self.emit(match eff {
+                    BinOp::Lt | BinOp::Le => Op::FCmpG,
+                    _ => Op::FCmpL,
+                });
+                self.emit_branch(zero_cmp_op(eff), target);
+            }
+            PrimTy::Double => {
+                self.expr(l);
+                self.expr(r);
+                self.emit(match eff {
+                    BinOp::Lt | BinOp::Le => Op::DCmpG,
+                    _ => Op::DCmpL,
+                });
+                self.emit_branch(zero_cmp_op(eff), target);
+            }
+        }
+    }
+
+    // ------------------------------------------------ effect position
+
+    fn expr_for_effect(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::AssignLocal { local, value } => {
+                // iinc peephole: i = i + c
+                if let Some(c) = iinc_delta(*local, value) {
+                    if self.local_ty(*local) == &Ty::INT && (-32768..=32767).contains(&c) {
+                        self.emit(Op::IInc(self.slot(*local), c as i16));
+                        return;
+                    }
+                }
+                self.expr(value);
+                self.store_local(*local);
+            }
+            ExprKind::SetField {
+                obj,
+                class,
+                field,
+                value,
+            } => {
+                self.expr(obj);
+                self.expr(value);
+                self.emit(Op::PutField(*class, *field));
+            }
+            ExprKind::SetStatic {
+                class,
+                field,
+                value,
+            } => {
+                self.expr(value);
+                self.emit(Op::PutStatic(*class, *field));
+            }
+            ExprKind::SetElem { arr, idx, value } => {
+                self.expr(arr);
+                self.expr(idx);
+                self.expr(value);
+                self.emit(self.astore_op(&value.ty));
+            }
+            ExprKind::CallStatic { .. }
+            | ExprKind::CallVirtual { .. }
+            | ExprKind::CallSpecial { .. }
+            | ExprKind::New { .. } => {
+                self.expr_keep(e, false);
+            }
+            ExprKind::Seq { effects, result } => {
+                for eff in effects {
+                    self.expr_for_effect(eff);
+                }
+                self.expr_for_effect(result);
+            }
+            ExprKind::Lit(_) | ExprKind::Local(_) => {} // pure, no effect
+            _ => {
+                self.expr(e);
+                self.pop_value(&e.ty);
+            }
+        }
+    }
+
+    fn pop_value(&mut self, ty: &Ty) {
+        match width(ty) {
+            0 => {}
+            2 => self.emit(Op::Pop2),
+            _ => self.emit(Op::Pop),
+        }
+    }
+
+    // ------------------------------------------------- value position
+
+    fn expr(&mut self, e: &Expr) {
+        self.expr_keep(e, true);
+    }
+
+    /// Compiles `e`; when `keep` is false, call results are discarded.
+    fn expr_keep(&mut self, e: &Expr, keep: bool) {
+        match &e.kind {
+            ExprKind::Lit(l) => self.literal(l),
+            ExprKind::Local(l) => self.load_local(*l),
+            ExprKind::AssignLocal { local, value } => {
+                self.expr(value);
+                self.dup_value(&e.ty);
+                self.store_local(*local);
+            }
+            ExprKind::GetField { obj, class, field } => {
+                self.expr(obj);
+                self.emit(Op::GetField(*class, *field));
+            }
+            ExprKind::SetField {
+                obj,
+                class,
+                field,
+                value,
+            } => {
+                self.expr(obj);
+                self.expr(value);
+                // keep the value under the objectref
+                if width(&e.ty) == 2 {
+                    self.emit(Op::Dup2X1);
+                } else {
+                    self.emit(Op::DupX1);
+                }
+                self.emit(Op::PutField(*class, *field));
+            }
+            ExprKind::GetStatic { class, field } => self.emit(Op::GetStatic(*class, *field)),
+            ExprKind::SetStatic {
+                class,
+                field,
+                value,
+            } => {
+                self.expr(value);
+                self.dup_value(&e.ty);
+                self.emit(Op::PutStatic(*class, *field));
+            }
+            ExprKind::GetElem { arr, idx } => {
+                self.expr(arr);
+                self.expr(idx);
+                self.emit(self.aload_op(&e.ty));
+            }
+            ExprKind::SetElem { arr, idx, value } => {
+                self.expr(arr);
+                self.expr(idx);
+                self.expr(value);
+                if width(&e.ty) == 2 {
+                    self.emit(Op::Dup2X2);
+                } else {
+                    self.emit(Op::DupX2);
+                }
+                self.emit(self.astore_op(&value.ty));
+            }
+            ExprKind::ArrayLen { arr } => {
+                self.expr(arr);
+                self.emit(Op::ArrayLength);
+            }
+            ExprKind::Unary { op, prim, expr } => {
+                self.expr(expr);
+                match (op, prim) {
+                    (UnOp::Neg, PrimTy::Int) => self.emit(Op::INeg),
+                    (UnOp::Neg, PrimTy::Long) => self.emit(Op::LNeg),
+                    (UnOp::Neg, PrimTy::Float) => self.emit(Op::FNeg),
+                    (UnOp::Neg, PrimTy::Double) => self.emit(Op::DNeg),
+                    (UnOp::BitNot, PrimTy::Int) => {
+                        self.emit(Op::IConst(-1));
+                        self.emit(Op::IXor);
+                    }
+                    (UnOp::BitNot, PrimTy::Long) => {
+                        self.emit(Op::LConst(-1));
+                        self.emit(Op::LXor);
+                    }
+                    (UnOp::Not, _) => {
+                        self.emit(Op::IConst(1));
+                        self.emit(Op::IXor);
+                    }
+                    _ => unreachable!("bad unary"),
+                }
+            }
+            ExprKind::Binary { op, prim, l, r } => {
+                if op.is_comparison() {
+                    self.materialize_bool(e);
+                } else {
+                    self.expr(l);
+                    self.expr(r);
+                    self.emit(arith_op(*op, *prim));
+                }
+            }
+            ExprKind::RefCmp { .. } | ExprKind::And { .. } | ExprKind::Or { .. } => {
+                self.materialize_bool(e)
+            }
+            ExprKind::Cond { cond, then, els } => {
+                let else_l = self.new_label();
+                let end_l = self.new_label();
+                self.branch(cond, false, else_l);
+                self.expr(then);
+                self.emit_branch(Op::Goto(0), end_l);
+                self.bind(else_l);
+                self.expr(els);
+                self.bind(end_l);
+            }
+            ExprKind::Conv { from, to, expr } => {
+                self.expr(expr);
+                if let Some(op) = conv_op(*from, *to) {
+                    self.emit(op);
+                }
+            }
+            ExprKind::CallStatic {
+                class,
+                method,
+                args,
+            } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Op::InvokeStatic(*class, *method));
+                self.discard_result(*class, *method, keep);
+            }
+            ExprKind::CallVirtual {
+                class,
+                method,
+                recv,
+                args,
+            } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Op::InvokeVirtual(*class, *method));
+                self.discard_result(*class, *method, keep);
+            }
+            ExprKind::CallSpecial {
+                class,
+                method,
+                recv,
+                args,
+            } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Op::InvokeSpecial(*class, *method));
+                self.discard_result(*class, *method, keep);
+            }
+            ExprKind::New { class, ctor, args } => {
+                self.emit(Op::New(*class));
+                if keep {
+                    self.emit(Op::Dup);
+                }
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Op::InvokeSpecial(*class, *ctor));
+            }
+            ExprKind::NewArray { elem, len } => {
+                self.expr(len);
+                let tid = self.type_id(&e.ty);
+                self.emit(Op::NewArray(array_kind(elem), tid));
+            }
+            ExprKind::ArrayLit { elem, elems } => {
+                self.emit(Op::IConst(elems.len() as i32));
+                let tid = self.type_id(&e.ty);
+                self.emit(Op::NewArray(array_kind(elem), tid));
+                for (i, el) in elems.iter().enumerate() {
+                    self.emit(Op::Dup);
+                    self.emit(Op::IConst(i as i32));
+                    self.expr(el);
+                    self.emit(self.astore_op(elem));
+                }
+            }
+            ExprKind::CastRef {
+                target,
+                expr,
+                checked,
+            } => {
+                self.expr(expr);
+                if *checked {
+                    let tid = self.type_id(target);
+                    self.emit(Op::CheckCast(tid));
+                }
+            }
+            ExprKind::InstanceOf { expr, target } => {
+                self.expr(expr);
+                let tid = self.type_id(target);
+                self.emit(Op::InstanceOf(tid));
+            }
+            ExprKind::Seq { effects, result } => {
+                for eff in effects {
+                    self.expr_for_effect(eff);
+                }
+                self.expr_keep(result, keep);
+            }
+        }
+    }
+
+    fn discard_result(&mut self, class: ClassIdx, method: MethodIdx, keep: bool) {
+        if keep {
+            return;
+        }
+        let ret = &self.prog.method(class, method).ret;
+        self.pop_value(ret);
+    }
+
+    /// Materializes a boolean expression as 0/1 via branches.
+    fn materialize_bool(&mut self, e: &Expr) {
+        let true_l = self.new_label();
+        let end_l = self.new_label();
+        self.branch(e, true, true_l);
+        self.emit(Op::IConst(0));
+        self.emit_branch(Op::Goto(0), end_l);
+        self.bind(true_l);
+        self.emit(Op::IConst(1));
+        self.bind(end_l);
+    }
+
+    fn dup_value(&mut self, ty: &Ty) {
+        if width(ty) == 2 {
+            self.emit(Op::Dup2);
+        } else {
+            self.emit(Op::Dup);
+        }
+    }
+
+    fn literal(&mut self, l: &Lit) {
+        match l {
+            Lit::Bool(b) => self.emit(Op::IConst(i32::from(*b))),
+            Lit::Char(c) => self.emit(Op::IConst(*c as i32)),
+            Lit::Int(v) => self.emit(Op::IConst(*v)),
+            Lit::Long(v) => self.emit(Op::LConst(*v)),
+            Lit::Float(v) => self.emit(Op::FConst(*v)),
+            Lit::Double(v) => self.emit(Op::DConst(*v)),
+            Lit::Str(s) => {
+                let id = self.string_id(s);
+                self.emit(Op::SConst(id));
+            }
+            Lit::Null => self.emit(Op::AConstNull),
+        }
+    }
+
+    fn load_local(&mut self, l: usize) {
+        let slot = self.slot(l);
+        self.emit(match self.local_ty(l) {
+            Ty::Prim(PrimTy::Long) => Op::LLoad(slot),
+            Ty::Prim(PrimTy::Float) => Op::FLoad(slot),
+            Ty::Prim(PrimTy::Double) => Op::DLoad(slot),
+            Ty::Prim(_) => Op::ILoad(slot),
+            _ => Op::ALoad(slot),
+        });
+    }
+
+    fn store_local(&mut self, l: usize) {
+        let slot = self.slot(l);
+        self.emit(match self.local_ty(l) {
+            Ty::Prim(PrimTy::Long) => Op::LStore(slot),
+            Ty::Prim(PrimTy::Float) => Op::FStore(slot),
+            Ty::Prim(PrimTy::Double) => Op::DStore(slot),
+            Ty::Prim(_) => Op::IStore(slot),
+            _ => Op::AStore(slot),
+        });
+    }
+
+    fn aload_op(&self, elem: &Ty) -> Op {
+        match elem {
+            Ty::Prim(PrimTy::Bool) => Op::BALoad,
+            Ty::Prim(PrimTy::Char) => Op::CALoad,
+            Ty::Prim(PrimTy::Int) => Op::IALoad,
+            Ty::Prim(PrimTy::Long) => Op::LALoad,
+            Ty::Prim(PrimTy::Float) => Op::FALoad,
+            Ty::Prim(PrimTy::Double) => Op::DALoad,
+            _ => Op::AALoad,
+        }
+    }
+
+    fn astore_op(&self, elem: &Ty) -> Op {
+        match elem {
+            Ty::Prim(PrimTy::Bool) => Op::BAStore,
+            Ty::Prim(PrimTy::Char) => Op::CAStore,
+            Ty::Prim(PrimTy::Int) => Op::IAStore,
+            Ty::Prim(PrimTy::Long) => Op::LAStore,
+            Ty::Prim(PrimTy::Float) => Op::FAStore,
+            Ty::Prim(PrimTy::Double) => Op::DAStore,
+            _ => Op::AAStore,
+        }
+    }
+}
+
+const LABEL_MARK: Label = 0x8000_0000;
+
+/// `i = i + c` / `i = i - c` with `i` int-typed → `iinc` delta.
+fn iinc_delta(local: usize, value: &Expr) -> Option<i64> {
+    if let ExprKind::Binary {
+        op,
+        prim: PrimTy::Int,
+        l,
+        r,
+    } = &value.kind
+    {
+        if let (ExprKind::Local(ll), ExprKind::Lit(Lit::Int(c))) = (&l.kind, &r.kind) {
+            if *ll == local {
+                return match op {
+                    BinOp::Add => Some(*c as i64),
+                    BinOp::Sub => Some(-(*c as i64)),
+                    _ => None,
+                };
+            }
+        }
+    }
+    None
+}
+
+fn negate_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn zero_cmp_op(op: BinOp) -> Op {
+    match op {
+        BinOp::Eq => Op::IfEq(0),
+        BinOp::Ne => Op::IfNe(0),
+        BinOp::Lt => Op::IfLt(0),
+        BinOp::Le => Op::IfLe(0),
+        BinOp::Gt => Op::IfGt(0),
+        BinOp::Ge => Op::IfGe(0),
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn icmp_op(op: BinOp) -> Op {
+    match op {
+        BinOp::Eq => Op::IfICmpEq(0),
+        BinOp::Ne => Op::IfICmpNe(0),
+        BinOp::Lt => Op::IfICmpLt(0),
+        BinOp::Le => Op::IfICmpLe(0),
+        BinOp::Gt => Op::IfICmpGt(0),
+        BinOp::Ge => Op::IfICmpGe(0),
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn arith_op(op: BinOp, prim: PrimTy) -> Op {
+    use BinOp::*;
+    use PrimTy::*;
+    match (prim, op) {
+        (Int | Char | Bool, Add) => Op::IAdd,
+        (Int | Char | Bool, Sub) => Op::ISub,
+        (Int, Mul) => Op::IMul,
+        (Int, Div) => Op::IDiv,
+        (Int, Rem) => Op::IRem,
+        (Int | Bool, BitAnd) => Op::IAnd,
+        (Int | Bool, BitOr) => Op::IOr,
+        (Int | Bool, BitXor) => Op::IXor,
+        (Int, Shl) => Op::IShl,
+        (Int, Shr) => Op::IShr,
+        (Int, Ushr) => Op::IUshr,
+        (Long, Add) => Op::LAdd,
+        (Long, Sub) => Op::LSub,
+        (Long, Mul) => Op::LMul,
+        (Long, Div) => Op::LDiv,
+        (Long, Rem) => Op::LRem,
+        (Long, BitAnd) => Op::LAnd,
+        (Long, BitOr) => Op::LOr,
+        (Long, BitXor) => Op::LXor,
+        (Long, Shl) => Op::LShl,
+        (Long, Shr) => Op::LShr,
+        (Long, Ushr) => Op::LUshr,
+        (Float, Add) => Op::FAdd,
+        (Float, Sub) => Op::FSub,
+        (Float, Mul) => Op::FMul,
+        (Float, Div) => Op::FDiv,
+        (Float, Rem) => Op::FRem,
+        (Double, Add) => Op::DAdd,
+        (Double, Sub) => Op::DSub,
+        (Double, Mul) => Op::DMul,
+        (Double, Div) => Op::DDiv,
+        (Double, Rem) => Op::DRem,
+        _ => unreachable!("bad arith {op:?} on {prim:?}"),
+    }
+}
+
+fn conv_op(from: PrimTy, to: PrimTy) -> Option<Op> {
+    use PrimTy::*;
+    Some(match (from, to) {
+        (Char, Int) => return None, // chars already live as ints
+        (Int, Char) => Op::I2C,
+        (Int, Long) => Op::I2L,
+        (Int, Float) => Op::I2F,
+        (Int, Double) => Op::I2D,
+        (Long, Int) => Op::L2I,
+        (Long, Float) => Op::L2F,
+        (Long, Double) => Op::L2D,
+        (Float, Int) => Op::F2I,
+        (Float, Long) => Op::F2L,
+        (Float, Double) => Op::F2D,
+        (Double, Int) => Op::D2I,
+        (Double, Long) => Op::D2L,
+        (Double, Float) => Op::D2F,
+        _ => return None,
+    })
+}
+
+fn array_kind(elem: &Ty) -> ArrayKind {
+    match elem {
+        Ty::Prim(PrimTy::Bool) => ArrayKind::Bool,
+        Ty::Prim(PrimTy::Char) => ArrayKind::Char,
+        Ty::Prim(PrimTy::Int) => ArrayKind::Int,
+        Ty::Prim(PrimTy::Long) => ArrayKind::Long,
+        Ty::Prim(PrimTy::Float) => ArrayKind::Float,
+        Ty::Prim(PrimTy::Double) => ArrayKind::Double,
+        _ => ArrayKind::Ref,
+    }
+}

@@ -1,0 +1,35 @@
+//! # safetsa-baseline
+//!
+//! The comparison baseline: a from-scratch JVM-subset toolchain
+//! standing in for the paper's `javac -g:none` + JVM measurements
+//! (Figure 5's "Java Bytecode" columns and the §9 verification-cost
+//! discussion). See DESIGN.md for the substitution rationale.
+//!
+//! * [`compile`] — javac-style one-pass stack-code generation
+//! * [`classfile`] — class-file byte images (symbolic constant pool)
+//! * [`verify`] — the iterative dataflow bytecode verifier
+//! * [`interp`] — an operand-stack interpreter sharing `safetsa-rt`
+//!
+//! # Examples
+//!
+//! ```
+//! use safetsa_baseline::{compile, interp, verify};
+//!
+//! let prog = safetsa_frontend::compile(
+//!     "class Main { static int main() { return 6 * 7; } }",
+//! )?;
+//! let mut code = compile::compile_program(&prog);
+//! verify::verify_program(&prog, &mut code)?;
+//! let mut vm = interp::Bvm::load(&prog, &code);
+//! let r = vm.run_entry("Main.main")?;
+//! assert_eq!(r, Some(safetsa_rt::Value::I(42)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classfile;
+pub mod compile;
+pub mod interp;
+pub mod opcode;
+pub mod verify;

@@ -1,0 +1,380 @@
+//! The baseline's stack-machine instruction set: a faithful subset of
+//! Java bytecode (typed arithmetic, slot-addressed locals, composed
+//! memory operations like `iaload` that bundle null check + bounds
+//! check + load — exactly the composition the paper's §9 criticizes).
+//!
+//! Instructions are kept structured for the interpreter and verifier;
+//! [`Op::encoded_len`] gives the byte size the instruction would have
+//! in a real class file (used by the Figure 5 size comparison).
+
+use safetsa_frontend::hir::{ClassIdx, FieldIdx, MethodIdx, Ty};
+
+/// A jump target: an index into the method's instruction list (a real
+/// class file would use byte offsets; instruction indices keep the
+/// interpreter simple while `encoded_len` preserves realistic sizes).
+pub type Label = u32;
+
+/// Primitive array element kinds (for `newarray`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ArrayKind {
+    Bool,
+    Char,
+    Int,
+    Long,
+    Float,
+    Double,
+    /// Reference arrays (`anewarray`), with the element described by a
+    /// constant-pool class entry in a real class file.
+    Ref,
+}
+
+/// One baseline instruction.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Op {
+    // ----- constants -----
+    IConst(i32),
+    LConst(i64),
+    FConst(f32),
+    DConst(f64),
+    /// Load a string literal (constant-pool index in a class file).
+    SConst(u32),
+    AConstNull,
+
+    // ----- locals -----
+    ILoad(u16),
+    LLoad(u16),
+    FLoad(u16),
+    DLoad(u16),
+    ALoad(u16),
+    IStore(u16),
+    LStore(u16),
+    FStore(u16),
+    DStore(u16),
+    AStore(u16),
+    IInc(u16, i16),
+
+    // ----- stack -----
+    Pop,
+    Pop2,
+    Dup,
+    Dup2,
+    DupX1,
+    DupX2,
+    Dup2X1,
+    Dup2X2,
+    Swap,
+
+    // ----- int arithmetic -----
+    IAdd,
+    ISub,
+    IMul,
+    IDiv,
+    IRem,
+    INeg,
+    IShl,
+    IShr,
+    IUshr,
+    IAnd,
+    IOr,
+    IXor,
+    // ----- long arithmetic -----
+    LAdd,
+    LSub,
+    LMul,
+    LDiv,
+    LRem,
+    LNeg,
+    LShl,
+    LShr,
+    LUshr,
+    LAnd,
+    LOr,
+    LXor,
+    // ----- float/double arithmetic -----
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FRem,
+    FNeg,
+    DAdd,
+    DSub,
+    DMul,
+    DDiv,
+    DRem,
+    DNeg,
+
+    // ----- conversions -----
+    I2L,
+    I2F,
+    I2D,
+    I2C,
+    L2I,
+    L2F,
+    L2D,
+    F2I,
+    F2L,
+    F2D,
+    D2I,
+    D2L,
+    D2F,
+
+    // ----- comparisons producing int -----
+    LCmp,
+    FCmpL,
+    FCmpG,
+    DCmpL,
+    DCmpG,
+
+    // ----- branches -----
+    IfEq(Label),
+    IfNe(Label),
+    IfLt(Label),
+    IfLe(Label),
+    IfGt(Label),
+    IfGe(Label),
+    IfICmpEq(Label),
+    IfICmpNe(Label),
+    IfICmpLt(Label),
+    IfICmpLe(Label),
+    IfICmpGt(Label),
+    IfICmpGe(Label),
+    IfACmpEq(Label),
+    IfACmpNe(Label),
+    IfNull(Label),
+    IfNonNull(Label),
+    Goto(Label),
+
+    // ----- arrays (composed operations: address computation + null
+    // check + bounds check + access, per the paper's iaload remark) ----
+    /// Allocate an array: element kind + index into the method's type
+    /// pool recording the full array type (for `instanceof`).
+    NewArray(ArrayKind, u32),
+    ArrayLength,
+    IALoad,
+    LALoad,
+    FALoad,
+    DALoad,
+    AALoad,
+    BALoad,
+    CALoad,
+    IAStore,
+    LAStore,
+    FAStore,
+    DAStore,
+    AAStore,
+    BAStore,
+    CAStore,
+
+    // ----- objects -----
+    New(ClassIdx),
+    GetField(ClassIdx, FieldIdx),
+    PutField(ClassIdx, FieldIdx),
+    GetStatic(ClassIdx, FieldIdx),
+    PutStatic(ClassIdx, FieldIdx),
+    InvokeVirtual(ClassIdx, MethodIdx),
+    InvokeSpecial(ClassIdx, MethodIdx),
+    InvokeStatic(ClassIdx, MethodIdx),
+    CheckCast(u32),
+    InstanceOf(u32),
+    AThrow,
+
+    // ----- returns -----
+    IReturn,
+    LReturn,
+    FReturn,
+    DReturn,
+    AReturn,
+    Return,
+}
+
+impl Op {
+    /// The byte length this instruction would occupy in a class file
+    /// (standard JVM encodings; `ldc` variants approximated by the wide
+    /// forms where operands exceed the short ranges).
+    pub fn encoded_len(&self) -> usize {
+        use Op::*;
+        match self {
+            IConst(v) => match *v {
+                -1..=5 => 1,         // iconst_<n>
+                -128..=127 => 2,     // bipush
+                -32768..=32767 => 3, // sipush
+                _ => 3,              // ldc_w
+            },
+            LConst(v) => match *v {
+                0 | 1 => 1, // lconst_<n>
+                _ => 3,     // ldc2_w
+            },
+            FConst(v) => {
+                if *v == 0.0 || *v == 1.0 || *v == 2.0 {
+                    1
+                } else {
+                    3
+                }
+            }
+            DConst(v) => {
+                if *v == 0.0 || *v == 1.0 {
+                    1
+                } else {
+                    3
+                }
+            }
+            SConst(i) => {
+                if *i < 256 {
+                    2 // ldc
+                } else {
+                    3 // ldc_w
+                }
+            }
+            AConstNull => 1,
+            ILoad(s) | LLoad(s) | FLoad(s) | DLoad(s) | ALoad(s) | IStore(s) | LStore(s)
+            | FStore(s) | DStore(s) | AStore(s) => match *s {
+                0..=3 => 1,   // xload_<n>
+                4..=255 => 2, // xload n
+                _ => 4,       // wide
+            },
+            IInc(s, c) => {
+                if *s < 256 && (-128..=127).contains(c) {
+                    3
+                } else {
+                    6 // wide iinc
+                }
+            }
+            Pop | Pop2 | Dup | Dup2 | DupX1 | DupX2 | Dup2X1 | Dup2X2 | Swap => 1,
+            IAdd | ISub | IMul | IDiv | IRem | INeg | IShl | IShr | IUshr | IAnd | IOr | IXor
+            | LAdd | LSub | LMul | LDiv | LRem | LNeg | LShl | LShr | LUshr | LAnd | LOr | LXor
+            | FAdd | FSub | FMul | FDiv | FRem | FNeg | DAdd | DSub | DMul | DDiv | DRem | DNeg => {
+                1
+            }
+            I2L | I2F | I2D | I2C | L2I | L2F | L2D | F2I | F2L | F2D | D2I | D2L | D2F => 1,
+            LCmp | FCmpL | FCmpG | DCmpL | DCmpG => 1,
+            IfEq(_) | IfNe(_) | IfLt(_) | IfLe(_) | IfGt(_) | IfGe(_) | IfICmpEq(_)
+            | IfICmpNe(_) | IfICmpLt(_) | IfICmpLe(_) | IfICmpGt(_) | IfICmpGe(_) | IfACmpEq(_)
+            | IfACmpNe(_) | IfNull(_) | IfNonNull(_) | Goto(_) => 3,
+            NewArray(ArrayKind::Ref, _) => 3, // anewarray
+            NewArray(_, _) => 2,
+            ArrayLength => 1,
+            IALoad | LALoad | FALoad | DALoad | AALoad | BALoad | CALoad | IAStore | LAStore
+            | FAStore | DAStore | AAStore | BAStore | CAStore => 1,
+            New(_) => 3,
+            GetField(_, _) | PutField(_, _) | GetStatic(_, _) | PutStatic(_, _) => 3,
+            InvokeVirtual(_, _) | InvokeSpecial(_, _) | InvokeStatic(_, _) => 3,
+            CheckCast(_) | InstanceOf(_) => 3,
+            AThrow => 1,
+            IReturn | LReturn | FReturn | DReturn | AReturn | Return => 1,
+        }
+    }
+
+    /// Whether this instruction unconditionally transfers control.
+    pub fn is_terminator(&self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Goto(_) | AThrow | IReturn | LReturn | FReturn | DReturn | AReturn | Return
+        )
+    }
+
+    /// The branch target, if any.
+    pub fn branch_target(&self) -> Option<Label> {
+        use Op::*;
+        match self {
+            IfEq(l) | IfNe(l) | IfLt(l) | IfLe(l) | IfGt(l) | IfGe(l) | IfICmpEq(l)
+            | IfICmpNe(l) | IfICmpLt(l) | IfICmpLe(l) | IfICmpGt(l) | IfICmpGe(l) | IfACmpEq(l)
+            | IfACmpNe(l) | IfNull(l) | IfNonNull(l) | Goto(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target (label patching).
+    pub fn set_branch_target(&mut self, new: Label) {
+        use Op::*;
+        match self {
+            IfEq(l) | IfNe(l) | IfLt(l) | IfLe(l) | IfGt(l) | IfGe(l) | IfICmpEq(l)
+            | IfICmpNe(l) | IfICmpLt(l) | IfICmpLe(l) | IfICmpGt(l) | IfICmpGe(l) | IfACmpEq(l)
+            | IfACmpNe(l) | IfNull(l) | IfNonNull(l) | Goto(l) => *l = new,
+            _ => panic!("not a branch"),
+        }
+    }
+}
+
+/// One exception-table entry (`[start, end)` protects; `handler`
+/// receives the exception when its class matches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExTableEntry {
+    /// First protected instruction index.
+    pub start: u32,
+    /// One past the last protected instruction index.
+    pub end: u32,
+    /// Handler entry point.
+    pub handler: u32,
+    /// The caught class.
+    pub class: ClassIdx,
+}
+
+/// A compiled method body.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Code {
+    /// The instructions.
+    pub ops: Vec<Op>,
+    /// Exception table, in catch-priority order.
+    pub ex_table: Vec<ExTableEntry>,
+    /// Maximum operand-stack depth (computed by the compiler).
+    pub max_stack: u16,
+    /// Number of local slots (longs/doubles take two).
+    pub max_locals: u16,
+    /// String literal pool for `SConst`.
+    pub strings: Vec<String>,
+    /// Type pool for `CheckCast`/`InstanceOf`/`NewArray`.
+    pub types: Vec<Ty>,
+}
+
+impl Code {
+    /// Total encoded byte length of the instruction stream.
+    pub fn encoded_len(&self) -> usize {
+        self.ops.iter().map(|o| o.encoded_len()).sum()
+    }
+
+    /// Number of instructions (Figure 5 metric).
+    pub fn instr_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_lengths_match_jvm() {
+        assert_eq!(Op::IConst(3).encoded_len(), 1);
+        assert_eq!(Op::IConst(100).encoded_len(), 2);
+        assert_eq!(Op::IConst(1000).encoded_len(), 3);
+        assert_eq!(Op::IConst(1_000_000).encoded_len(), 3);
+        assert_eq!(Op::ILoad(2).encoded_len(), 1);
+        assert_eq!(Op::ILoad(10).encoded_len(), 2);
+        assert_eq!(Op::ILoad(300).encoded_len(), 4);
+        assert_eq!(Op::Goto(7).encoded_len(), 3);
+        assert_eq!(Op::IAdd.encoded_len(), 1);
+        assert_eq!(Op::GetField(0, 0).encoded_len(), 3);
+        assert_eq!(Op::IInc(1, 1).encoded_len(), 3);
+    }
+
+    #[test]
+    fn branch_patching() {
+        let mut op = Op::IfEq(0);
+        assert_eq!(op.branch_target(), Some(0));
+        op.set_branch_target(42);
+        assert_eq!(op.branch_target(), Some(42));
+        assert_eq!(Op::IAdd.branch_target(), None);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Op::Goto(0).is_terminator());
+        assert!(Op::Return.is_terminator());
+        assert!(Op::AThrow.is_terminator());
+        assert!(!Op::IfEq(0).is_terminator());
+    }
+}

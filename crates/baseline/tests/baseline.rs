@@ -1,0 +1,250 @@
+//! Baseline toolchain tests: compile → dataflow-verify → execute, and
+//! class-file serialization sanity.
+
+use safetsa_baseline::{classfile, compile, interp, verify};
+use safetsa_frontend::compile as fe_compile;
+use safetsa_rt::Value;
+
+fn run(src: &str, entry: &str) -> (Option<Value>, String) {
+    let prog = fe_compile(src).expect("front-end");
+    let mut code = compile::compile_program(&prog);
+    verify::verify_program(&prog, &mut code).expect("bytecode verifies");
+    let mut vm = interp::Bvm::load(&prog, &code);
+    vm.set_fuel(50_000_000);
+    let r = vm.run_entry(entry).expect("runs");
+    (r, vm.output.text().to_string())
+}
+
+fn run_int(src: &str, entry: &str) -> i32 {
+    match run(src, entry).0 {
+        Some(Value::I(v)) => v,
+        other => panic!("expected int, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic() {
+    assert_eq!(
+        run_int(
+            "class A { static int main() { return 2 + 3 * 4 - 5 / 2; } }",
+            "A.main"
+        ),
+        12
+    );
+}
+
+#[test]
+fn loops_and_branches() {
+    assert_eq!(
+        run_int(
+            "class A { static int main() {
+                 int s = 0;
+                 for (int i = 1; i <= 10; i++) if (i % 2 == 0) s += i;
+                 int j = 0;
+                 while (j < 3) { s += 100; j++; }
+                 do { s++; } while (false);
+                 return s;
+             } }",
+            "A.main"
+        ),
+        331
+    );
+}
+
+#[test]
+fn objects_and_dispatch() {
+    assert_eq!(
+        run_int(
+            "class Shape { int area() { return 0; } }
+             class Sq extends Shape { int s; Sq(int s) { this.s = s; } int area() { return s * s; } }
+             class Main { static int main() { Shape x = new Sq(6); return x.area(); } }",
+            "Main.main"
+        ),
+        36
+    );
+}
+
+#[test]
+fn exceptions() {
+    assert_eq!(
+        run_int(
+            "class A { static int main() {
+                 int r = 0;
+                 try { r = 10 / 0; } catch (ArithmeticException e) { r = -1; }
+                 int[] a = new int[2];
+                 try { r += a[5]; } catch (IndexOutOfBoundsException e) { r -= 10; }
+                 return r;
+             } }",
+            "A.main"
+        ),
+        -11
+    );
+}
+
+#[test]
+fn strings_and_prints() {
+    let (_, out) = run(
+        r#"class A { static int main() {
+               Sys.println("x=" + 4 + " y=" + 2.5 + " b=" + true);
+               return 0;
+           } }"#,
+        "A.main",
+    );
+    assert_eq!(out, "x=4 y=2.5 b=true\n");
+}
+
+#[test]
+fn long_shift_and_char() {
+    let (_, out) = run(
+        r#"class A { static int main() {
+               long x = 1L << 33;
+               Sys.println(x);
+               char c = 'A';
+               c++;
+               Sys.println(c);
+               boolean[] flags = new boolean[2];
+               flags[1] = true;
+               Sys.println(flags[1]);
+               char[] cs = new char[3];
+               cs[0] = 'z';
+               Sys.println(cs[0]);
+               return 0;
+           } }"#,
+        "A.main",
+    );
+    assert_eq!(out, "8589934592\nB\ntrue\nz\n");
+}
+
+#[test]
+fn verifier_computes_max_stack() {
+    let prog = fe_compile(
+        "class A { static int f(int a, int b, int c) { return a * b + b * c + a * c; } }",
+    )
+    .unwrap();
+    let mut code = compile::compile_program(&prog);
+    verify::verify_program(&prog, &mut code).unwrap();
+    let a = prog.find_class("A").unwrap();
+    let f = prog.classes[a]
+        .methods
+        .iter()
+        .position(|m| m.name == "f")
+        .unwrap();
+    let c = code.code(a, f).unwrap();
+    assert!(
+        c.max_stack >= 2 && c.max_stack <= 4,
+        "max_stack={}",
+        c.max_stack
+    );
+}
+
+#[test]
+fn verifier_rejects_corrupt_code() {
+    use safetsa_baseline::opcode::Op;
+    let prog = fe_compile("class A { static int f(int x) { return x + 1; } }").unwrap();
+    let mut code = compile::compile_program(&prog);
+    let a = prog.find_class("A").unwrap();
+    let f = prog.classes[a]
+        .methods
+        .iter()
+        .position(|m| m.name == "f")
+        .unwrap();
+    // Corrupt: replace iadd with ladd (type mismatch).
+    let body = code.methods.get_mut(&(a, f)).unwrap();
+    for op in &mut body.ops {
+        if *op == Op::IAdd {
+            *op = Op::LAdd;
+        }
+    }
+    assert!(verify::verify_program(&prog, &mut code).is_err());
+}
+
+#[test]
+fn verifier_rejects_stack_depth_mismatch_at_join() {
+    use safetsa_baseline::opcode::{Code, Op};
+    let prog = fe_compile("class A { static int f(int x) { return x; } }").unwrap();
+    let a = prog.find_class("A").unwrap();
+    let f = prog.classes[a]
+        .methods
+        .iter()
+        .position(|m| m.name == "f")
+        .unwrap();
+    // Hand-craft: iconst pushed on one path only → depth mismatch at 3.
+    let code = Code {
+        ops: vec![
+            Op::ILoad(0),  // 0
+            Op::IfEq(3),   // 1: jump with depth 0
+            Op::IConst(1), // 2: depth 1 on fall-through
+            Op::IReturn,   // 3: merge of depth 0 and 1 → error
+        ],
+        ex_table: vec![],
+        max_stack: 2,
+        max_locals: 1,
+        strings: vec![],
+        types: vec![],
+    };
+    let err = verify::verify_method(&prog, a, f, &code).unwrap_err();
+    assert!(
+        err.0.contains("mismatch") || err.0.contains("underflow"),
+        "{err}"
+    );
+}
+
+#[test]
+fn classfile_bytes_look_like_classfiles() {
+    let prog = fe_compile(
+        r#"class Point {
+               int x; int y;
+               Point(int x, int y) { this.x = x; this.y = y; }
+               int dist2() { return x * x + y * y; }
+               static double len(Point p) { return Math.sqrt(p.dist2()); }
+           }"#,
+    )
+    .unwrap();
+    let mut code = compile::compile_program(&prog);
+    verify::verify_program(&prog, &mut code).unwrap();
+    let p = prog.find_class("Point").unwrap();
+    let bytes = classfile::serialize_class(&prog, &code, p);
+    assert_eq!(&bytes[0..4], &[0xCA, 0xFE, 0xBA, 0xBE]);
+    assert!(bytes.len() > 200, "non-trivial file: {}", bytes.len());
+    // Class name appears in the constant pool.
+    let needle = b"Point";
+    assert!(bytes.windows(needle.len()).any(|w| w == needle));
+    // Descriptors appear too.
+    assert!(bytes.windows(4).any(|w| w == b"(II)"));
+}
+
+#[test]
+fn iinc_peephole_used() {
+    use safetsa_baseline::opcode::Op;
+    let prog = fe_compile(
+        "class A { static int f() { int s = 0; for (int i = 0; i < 9; i++) s += 2; return s; } }",
+    )
+    .unwrap();
+    let code = compile::compile_program(&prog);
+    let a = prog.find_class("A").unwrap();
+    let f = prog.classes[a]
+        .methods
+        .iter()
+        .position(|m| m.name == "f")
+        .unwrap();
+    let body = code.code(a, f).unwrap();
+    let iincs = body
+        .ops
+        .iter()
+        .filter(|o| matches!(o, Op::IInc(_, _)))
+        .count();
+    assert!(iincs >= 2, "i++ and s+=2 both become iinc: {iincs}");
+}
+
+#[test]
+fn recursion_and_statics() {
+    assert_eq!(
+        run_int(
+            "class A { static int CALLS = 0;
+                      static int fib(int n) { CALLS++; if (n < 2) return n; return fib(n-1) + fib(n-2); }
+                      static int main() { int r = fib(10); return r * 1000 + CALLS; } }",
+            "A.main"
+        ),
+        55_000 + 177
+    );
+}

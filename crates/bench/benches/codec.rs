@@ -1,0 +1,34 @@
+//! Encoder/decoder throughput over the corpus (the §7 externalization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safetsa_bench::{build_pipeline, corpus};
+use safetsa_codec::{decode_module, encode_module, HostEnv};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let pipelines: Vec<_> = corpus().into_iter().map(|e| build_pipeline(&e)).collect();
+    let host = HostEnv::standard();
+    let total_bytes: usize = pipelines.iter().map(|p| p.bytes.len()).sum();
+
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Bytes(total_bytes as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for pl in &pipelines {
+                black_box(encode_module(&pl.module));
+            }
+        })
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for pl in &pipelines {
+                black_box(decode_module(&pl.bytes, &host).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

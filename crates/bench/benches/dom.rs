@@ -1,0 +1,42 @@
+//! Dominator-algorithm ablation: the iterative Cooper–Harvey–Kennedy
+//! algorithm (our default) vs Lengauer–Tarjan (the paper's citation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safetsa_bench::{build_pipeline, corpus};
+use safetsa_core::cfg::Cfg;
+use safetsa_core::dom::DomTree;
+use std::hint::black_box;
+
+fn bench_dom(c: &mut Criterion) {
+    let cfgs: Vec<Cfg> = corpus()
+        .into_iter()
+        .flat_map(|e| {
+            let pl = build_pipeline(&e);
+            pl.module
+                .functions
+                .iter()
+                .map(|f| Cfg::build(f).unwrap())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("dominators");
+    g.bench_function("cooper_harvey_kennedy", |b| {
+        b.iter(|| {
+            for cfg in &cfgs {
+                black_box(DomTree::build(cfg));
+            }
+        })
+    });
+    g.bench_function("lengauer_tarjan", |b| {
+        b.iter(|| {
+            for cfg in &cfgs {
+                black_box(DomTree::build_lengauer_tarjan(cfg));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dom);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Producer-side stage costs: front-end, SSA construction, optimization,
+//! and encoding over the whole corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safetsa_bench::corpus;
+use safetsa_codec::encode_module;
+use safetsa_opt::optimize_module;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let entries = corpus();
+    let progs: Vec<_> = entries
+        .iter()
+        .map(|e| safetsa_frontend::compile(e.source).unwrap())
+        .collect();
+    let modules: Vec<_> = progs
+        .iter()
+        .map(|p| safetsa_ssa::lower_program(p).unwrap().module)
+        .collect();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.bench_function("frontend", |b| {
+        b.iter(|| {
+            for e in &entries {
+                black_box(safetsa_frontend::compile(e.source).unwrap());
+            }
+        })
+    });
+    g.bench_function("ssa_construction", |b| {
+        b.iter(|| {
+            for p in &progs {
+                black_box(safetsa_ssa::lower_program(p).unwrap());
+            }
+        })
+    });
+    g.bench_function("optimize", |b| {
+        b.iter(|| {
+            for m in &modules {
+                let mut m = m.clone();
+                black_box(optimize_module(&mut m));
+            }
+        })
+    });
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for m in &modules {
+                black_box(encode_module(m));
+            }
+        })
+    });
+    g.bench_function("baseline_compile", |b| {
+        b.iter(|| {
+            for p in &progs {
+                black_box(safetsa_baseline::compile::compile_program(p));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

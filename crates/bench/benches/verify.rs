@@ -1,0 +1,62 @@
+//! §9's verification-cost comparison as a Criterion benchmark:
+//! SafeTSA's linear structural verification (and full decode+verify)
+//! vs the JVM-style iterative dataflow verification the baseline needs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safetsa_bench::{build_pipeline, corpus};
+use safetsa_codec::{decode_and_verify, HostEnv};
+use std::hint::black_box;
+
+fn bench_verify(c: &mut Criterion) {
+    let pipelines: Vec<_> = corpus().into_iter().map(|e| build_pipeline(&e)).collect();
+    let host = HostEnv::standard();
+
+    let mut g = c.benchmark_group("verify");
+    g.sample_size(20);
+    g.bench_function("safetsa_structural", |b| {
+        b.iter(|| {
+            for pl in &pipelines {
+                black_box(safetsa_core::verify::verify_module(&pl.module).unwrap());
+            }
+        })
+    });
+    g.bench_function("safetsa_decode_and_verify", |b| {
+        b.iter(|| {
+            for pl in &pipelines {
+                black_box(decode_and_verify(&pl.bytes, &host).unwrap());
+            }
+        })
+    });
+    g.bench_function("jvm_dataflow", |b| {
+        b.iter(|| {
+            for pl in &pipelines {
+                let mut code = safetsa_baseline::compile::compile_program(&pl.prog);
+                black_box(safetsa_baseline::verify::verify_program(&pl.prog, &mut code).unwrap());
+            }
+        })
+    });
+    g.bench_function("jvm_dataflow_verify_only", |b| {
+        // Pre-compiled code, measuring only the dataflow analysis.
+        let codes: Vec<_> = pipelines
+            .iter()
+            .map(|pl| {
+                let mut code = safetsa_baseline::compile::compile_program(&pl.prog);
+                safetsa_baseline::verify::verify_program(&pl.prog, &mut code).unwrap();
+                (pl, code)
+            })
+            .collect();
+        b.iter(|| {
+            for (pl, code) in &codes {
+                for (&(ci, mi), body) in &code.methods {
+                    black_box(
+                        safetsa_baseline::verify::verify_method(&pl.prog, ci, mi, body).unwrap(),
+                    );
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §9's verification-cost comparison: JVM-style bytecode verification
+//! needs an iterative dataflow analysis, while SafeTSA verification is
+//! a single linear pass ("simple counters holding the numbers of
+//! defined values", §9). This harness reports the work both verifiers
+//! perform and wall-clock timings over the corpus.
+
+use safetsa_bench::{build_pipeline, corpus};
+use safetsa_codec::{decode_and_verify, HostEnv};
+use std::time::Instant;
+
+fn main() {
+    let host = HostEnv::standard();
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "Program", "tsa-ops", "jvm-iters", "tsa-verify", "jvm-verify", "tsa-decode"
+    );
+    let mut t_tsa = 0.0;
+    let mut t_jvm = 0.0;
+    for entry in corpus() {
+        let pl = build_pipeline(&entry);
+        // SafeTSA structural verification.
+        let t0 = Instant::now();
+        let stats = safetsa_core::verify::verify_module(&pl.module).expect("verifies");
+        let tsa_time = t0.elapsed().as_secs_f64() * 1e6;
+        // JVM dataflow verification.
+        let mut bcode = safetsa_baseline::compile::compile_program(&pl.prog);
+        let t1 = Instant::now();
+        let bstats =
+            safetsa_baseline::verify::verify_program(&pl.prog, &mut bcode).expect("verifies");
+        let jvm_time = t1.elapsed().as_secs_f64() * 1e6;
+        // Decode + verify (the full consumer-side cost for SafeTSA).
+        let t2 = Instant::now();
+        decode_and_verify(&pl.bytes, &host).expect("decodes");
+        let dec_time = t2.elapsed().as_secs_f64() * 1e6;
+        println!(
+            "{:<14} {:>10} {:>10} {:>10.0}us {:>10.0}us {:>10.0}us",
+            entry.name, stats.operands, bstats.iterations, tsa_time, jvm_time, dec_time
+        );
+        t_tsa += tsa_time;
+        t_jvm += jvm_time;
+    }
+    println!();
+    println!(
+        "total: SafeTSA verification {:.0}us, JVM dataflow verification {:.0}us",
+        t_tsa, t_jvm
+    );
+}

@@ -1,0 +1,248 @@
+//! # safetsa-bench
+//!
+//! The evaluation harness: the benchmark corpus (stand-ins for the
+//! paper's `sun.tools.javac`/`sun.math`/Linpack classes — see
+//! DESIGN.md), the measurement pipeline, and the binaries that
+//! regenerate the paper's tables:
+//!
+//! * `cargo run -p safetsa-bench --bin fig5` — Figure 5 (file sizes and
+//!   instruction counts: Java bytecode vs SafeTSA vs optimized SafeTSA)
+//! * `cargo run -p safetsa-bench --bin fig6` — Figure 6 (phi-, null-
+//!   check and array-check instructions before/after optimization)
+//! * `cargo run -p safetsa-bench --bin ablation` — §8's per-pass
+//!   contribution breakdown (constant propagation / CSE / DCE)
+//! * `cargo run -p safetsa-bench --bin verify_cost` — §9's
+//!   verification-cost comparison (SafeTSA decode+verify vs JVM-style
+//!   dataflow verification)
+
+#![warn(missing_docs)]
+
+use safetsa_baseline::{classfile, compile as bcompile, verify as bverify};
+use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
+use safetsa_core::verify::verify_module;
+use safetsa_core::Module;
+use safetsa_frontend::hir::Program;
+use safetsa_opt::{optimize_module_with, OptStats, Passes};
+use safetsa_rt::Value;
+use safetsa_ssa::{lower_program, FnStats};
+
+/// One corpus program.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Display name (the Figure 5/6 row label).
+    pub name: &'static str,
+    /// Java-subset source text.
+    pub source: &'static str,
+    /// Entry point (`Class.method`).
+    pub entry: &'static str,
+}
+
+macro_rules! corpus_entry {
+    ($name:literal, $file:literal, $entry:literal) => {
+        CorpusEntry {
+            name: $name,
+            source: include_str!(concat!("../corpus/", $file)),
+            entry: $entry,
+        }
+    };
+}
+
+/// The benchmark corpus, mirroring the paper's workload categories.
+pub fn corpus() -> Vec<CorpusEntry> {
+    vec![
+        // compiler front-end category (sun.tools.javac / sun.tools.java)
+        corpus_entry!("Scanner", "Scanner.java", "Scanner.main"),
+        corpus_entry!("Parser", "Parser.java", "Parser.main"),
+        corpus_entry!("StateMachine", "StateMachine.java", "StateMachine.main"),
+        corpus_entry!("Huffman", "Huffman.java", "Huffman.main"),
+        // multiword / scaled arithmetic category (sun.math)
+        corpus_entry!("BigInteger", "BigInteger.java", "Big.main"),
+        corpus_entry!("BigDecimal", "BigDecimal.java", "Dec.main"),
+        corpus_entry!("BitSieve", "BitSieve.java", "BitSieve.main"),
+        corpus_entry!("Crc32", "Crc32.java", "Crc32.main"),
+        // numeric array category (Linpack)
+        corpus_entry!("Linpack", "Linpack.java", "Linpack.main"),
+        corpus_entry!("Matrix", "Matrix.java", "Matrix.main"),
+        corpus_entry!("NBody", "NBody.java", "NBody.main"),
+        corpus_entry!("GameOfLife", "GameOfLife.java", "GameOfLife.main"),
+        corpus_entry!("Pathfind", "Pathfind.java", "Pathfind.main"),
+        // data structures & OO workloads
+        corpus_entry!("QuickSort", "QuickSort.java", "QuickSort.main"),
+        corpus_entry!("HashTable", "HashTable.java", "HashTable.main"),
+        corpus_entry!("ListOps", "ListOps.java", "ListOps.main"),
+        corpus_entry!("Shapes", "Shapes.java", "Shapes.main"),
+        corpus_entry!("Bank", "Bank.java", "Bank.main"),
+        corpus_entry!("StringBench", "StringBench.java", "StringBench.main"),
+        corpus_entry!("Exceptions", "Exceptions.java", "Exceptions.main"),
+    ]
+}
+
+/// All measurements for one corpus program.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Row label.
+    pub name: &'static str,
+    /// Class-file bytes (baseline).
+    pub bytecode_size: usize,
+    /// SafeTSA wire bytes, unoptimized.
+    pub safetsa_size: usize,
+    /// SafeTSA wire bytes after producer-side optimization.
+    pub safetsa_opt_size: usize,
+    /// Baseline instruction count.
+    pub bytecode_instrs: usize,
+    /// SafeTSA instruction count (phis included, matching the paper's
+    /// counting of phi instructions as instructions).
+    pub safetsa_instrs: usize,
+    /// Optimized SafeTSA instruction count.
+    pub safetsa_opt_instrs: usize,
+    /// SSA construction statistics (phi pruning, checks inserted).
+    pub construction: FnStats,
+    /// Optimization statistics (Figure 6 columns).
+    pub opt: OptStats,
+    /// Baseline dataflow-verification statistics.
+    pub bverify: bverify::BVerifyStats,
+}
+
+/// The full producer/consumer artifacts for one program (used by the
+/// Criterion benches so they measure stages in isolation).
+pub struct Pipeline {
+    /// The resolved program.
+    pub prog: Program,
+    /// Unoptimized SafeTSA module.
+    pub module: Module,
+    /// Optimized SafeTSA module.
+    pub optimized: Module,
+    /// Unoptimized wire bytes.
+    pub bytes: Vec<u8>,
+    /// Optimized wire bytes.
+    pub opt_bytes: Vec<u8>,
+    /// Baseline stack code.
+    pub bcode: bcompile::CompiledProgram,
+}
+
+/// Builds every artifact for `entry`.
+///
+/// # Panics
+///
+/// Panics when any stage fails — corpus programs are expected to be
+/// fully supported.
+pub fn build_pipeline(entry: &CorpusEntry) -> Pipeline {
+    let prog = safetsa_frontend::compile(entry.source)
+        .unwrap_or_else(|e| panic!("{}: front-end: {e}", entry.name));
+    let lowered = lower_program(&prog).unwrap_or_else(|e| panic!("{}: lowering: {e}", entry.name));
+    verify_module(&lowered.module).unwrap_or_else(|e| panic!("{}: verify: {e}", entry.name));
+    let module = lowered.module;
+    let mut optimized = module.clone();
+    optimize_module_with(&mut optimized, Passes::ALL);
+    verify_module(&optimized).unwrap_or_else(|e| panic!("{}: verify optimized: {e}", entry.name));
+    let bytes = encode_module(&module);
+    let opt_bytes = encode_module(&optimized);
+    let mut bcode = bcompile::compile_program(&prog);
+    bverify::verify_program(&prog, &mut bcode)
+        .unwrap_or_else(|e| panic!("{}: bytecode verify: {e}", entry.name));
+    Pipeline {
+        prog,
+        module,
+        optimized,
+        bytes,
+        opt_bytes,
+        bcode,
+    }
+}
+
+/// Measures one corpus program end to end.
+///
+/// # Panics
+///
+/// Panics when a stage fails.
+pub fn measure(entry: &CorpusEntry) -> Measurement {
+    let prog = safetsa_frontend::compile(entry.source)
+        .unwrap_or_else(|e| panic!("{}: front-end: {e}", entry.name));
+    let lowered = lower_program(&prog).unwrap_or_else(|e| panic!("{}: lowering: {e}", entry.name));
+    verify_module(&lowered.module).unwrap_or_else(|e| panic!("{}: verify: {e}", entry.name));
+    let construction = lowered.totals();
+    let module = lowered.module;
+    let mut optimized = module.clone();
+    let opt = optimize_module_with(&mut optimized, Passes::ALL);
+    verify_module(&optimized).unwrap_or_else(|e| panic!("{}: verify optimized: {e}", entry.name));
+    // Wire sizes round-trip through the decoder as a sanity check.
+    let host = HostEnv::standard();
+    let bytes = encode_module(&module);
+    decode_and_verify(&bytes, &host).unwrap_or_else(|e| panic!("{}: decode: {e}", entry.name));
+    let opt_bytes = encode_module(&optimized);
+    decode_and_verify(&opt_bytes, &host)
+        .unwrap_or_else(|e| panic!("{}: decode optimized: {e}", entry.name));
+    // Baseline.
+    let mut bcode = bcompile::compile_program(&prog);
+    let bstats = bverify::verify_program(&prog, &mut bcode)
+        .unwrap_or_else(|e| panic!("{}: bytecode verify: {e}", entry.name));
+    let bytecode_size = classfile::total_size(&prog, &bcode);
+    Measurement {
+        name: entry.name,
+        bytecode_size,
+        safetsa_size: bytes.len(),
+        safetsa_opt_size: opt_bytes.len(),
+        bytecode_instrs: bcode.instr_count(),
+        safetsa_instrs: module.instr_count() + module.phi_count(),
+        safetsa_opt_instrs: optimized.instr_count() + optimized.phi_count(),
+        construction,
+        opt,
+        bverify: bstats,
+    }
+}
+
+/// Runs `entry` under all three engines (SafeTSA unoptimized, SafeTSA
+/// optimized, bytecode baseline) and checks the outcomes agree;
+/// returns the shared output text.
+///
+/// # Panics
+///
+/// Panics on any divergence — this is the corpus-wide differential
+/// soundness check.
+pub fn run_differential(entry: &CorpusEntry) -> String {
+    let pl = build_pipeline(entry);
+    let norm = |v: Option<Value>| -> Option<Value> {
+        v.map(|v| match v {
+            Value::Z(b) => Value::I(i32::from(b)),
+            Value::C(c) => Value::I(c as i32),
+            other => other,
+        })
+    };
+    let run_vm = |m: &Module| -> (Option<Value>, String) {
+        let mut vm = safetsa_vm::Vm::load(m).expect("loads");
+        vm.set_fuel(500_000_000);
+        let r = vm
+            .run_entry(entry.entry)
+            .unwrap_or_else(|e| panic!("{}: vm: {e}", entry.name));
+        (norm(r), vm.output.text().to_string())
+    };
+    let (r1, o1) = run_vm(&pl.module);
+    let (r2, o2) = run_vm(&pl.optimized);
+    let mut bvm = safetsa_baseline::interp::Bvm::load(&pl.prog, &pl.bcode);
+    bvm.set_fuel(500_000_000);
+    let r3 = norm(
+        bvm.run_entry(entry.entry)
+            .unwrap_or_else(|e| panic!("{}: baseline: {e}", entry.name)),
+    );
+    let o3 = bvm.output.text().to_string();
+    assert_eq!(o1, o2, "{}: optimized output differs", entry.name);
+    assert_eq!(o1, o3, "{}: baseline output differs", entry.name);
+    match (r1, r2, r3) {
+        (Some(a), Some(b), Some(c)) => {
+            assert!(a.bits_eq(b), "{}: {a:?} vs opt {b:?}", entry.name);
+            assert!(a.bits_eq(c), "{}: {a:?} vs baseline {c:?}", entry.name);
+        }
+        (None, None, None) => {}
+        other => panic!("{}: result arity mismatch {other:?}", entry.name),
+    }
+    o1
+}
+
+/// Percentage delta `(after - before) / before`, as the paper prints it
+/// (negative = reduction); `None` when `before` is zero (printed N/A).
+pub fn delta_pct(before: usize, after: usize) -> Option<i64> {
+    if before == 0 {
+        return None;
+    }
+    Some(((after as i64 - before as i64) * 100) / before as i64)
+}

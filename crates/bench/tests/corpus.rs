@@ -1,0 +1,48 @@
+//! Corpus-wide checks: every benchmark program compiles through the
+//! full pipeline, verifies, round-trips the codec, and executes
+//! identically under all three engines.
+
+use safetsa_bench::{corpus, measure, run_differential};
+
+#[test]
+fn all_corpus_programs_run_identically_everywhere() {
+    for entry in corpus() {
+        let out = run_differential(&entry);
+        assert!(
+            !out.is_empty(),
+            "{}: corpus programs print their checksums",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn measurements_are_sane() {
+    for entry in corpus() {
+        let m = measure(&entry);
+        assert!(m.bytecode_instrs > 0, "{}", m.name);
+        assert!(m.safetsa_instrs > 0, "{}", m.name);
+        assert!(
+            m.safetsa_opt_instrs <= m.safetsa_instrs,
+            "{}: optimization never grows the program",
+            m.name
+        );
+        assert!(m.safetsa_size > 0 && m.bytecode_size > 0, "{}", m.name);
+        assert!(
+            m.opt.null_checks_after <= m.opt.null_checks_before,
+            "{}",
+            m.name
+        );
+        assert!(
+            m.opt.index_checks_after <= m.opt.index_checks_before,
+            "{}",
+            m.name
+        );
+        assert!(
+            m.construction.phis_inserted <= m.construction.phis_candidate,
+            "{}",
+            m.name
+        );
+        assert!(m.bverify.iterations > 0, "{}", m.name);
+    }
+}

@@ -1,0 +1,795 @@
+//! The SafeTSA decoder: the code consumer's loader.
+//!
+//! Decoding *is* (most of) verification: every reference symbol is
+//! range-checked against the registers actually defined at that point
+//! (§2's "trivial" check), every instruction is type-checked by the
+//! shared typing rules as it is rebuilt, and structures the encoding
+//! cannot even express (cross-branch references, wrong planes) are
+//! simply unrepresentable. The caller is expected to run the full
+//! [`safetsa_core::verify::verify_module`] afterwards as defense in
+//! depth; `decode_and_verify` does both.
+
+use crate::bits::{BitReader, DecodeError};
+use crate::layout::{CstTag, Opc, CST_TAGS, MAGIC, OPCODES, VERSION};
+use crate::refs::{read_ref, read_type};
+use safetsa_core::cfg::{Cfg, EdgeKind};
+use safetsa_core::cst::Cst;
+use safetsa_core::dom::DomTree;
+use safetsa_core::function::{Function, ENTRY};
+use safetsa_core::instr::Instr;
+use safetsa_core::module::{Module, WellKnown};
+use safetsa_core::primops::{self, PrimOpId};
+use safetsa_core::types::{
+    ClassId, ClassInfo, FieldInfo, FieldRef, MethodInfo, MethodKind, MethodRef, PrimKind, TypeId,
+    TypeKind, TypeTable,
+};
+use safetsa_core::value::{BlockId, Const, Literal, ValueId};
+
+/// The host environment: the implicitly generated (and therefore
+/// tamper-proof) part of the type table — primitives and imported
+/// classes — plus the well-known class handles.
+#[derive(Debug, Clone)]
+pub struct HostEnv {
+    /// Type table containing only imported classes.
+    pub types: TypeTable,
+    /// Well-known classes.
+    pub well_known: WellKnown,
+}
+
+const MAX_COUNT: u64 = 1 << 22;
+
+fn cap(v: u64, what: &str) -> Result<usize, DecodeError> {
+    if v > MAX_COUNT {
+        return Err(DecodeError::Malformed(format!("{what} count too large")));
+    }
+    Ok(v as usize)
+}
+
+/// Decodes a module against the host environment.
+///
+/// # Errors
+///
+/// Any structural, referential, or type violation aborts decoding.
+pub fn decode_module(bytes: &[u8], host: &HostEnv) -> Result<Module, DecodeError> {
+    let mut r = BitReader::new(bytes);
+    if r.bits(32)? as u32 != MAGIC {
+        return Err(DecodeError::Malformed("bad magic".into()));
+    }
+    if r.bits(8)? as u8 != VERSION {
+        return Err(DecodeError::Malformed("unsupported version".into()));
+    }
+    let name = r.string()?;
+    let n_classes = cap(r.gamma()?, "class")?;
+    let n_builtin = cap(r.gamma()?, "builtin class")?;
+    let mut types = host.types.clone();
+    if n_builtin != types.class_count() {
+        return Err(DecodeError::Malformed(format!(
+            "module expects {n_builtin} host classes, environment provides {}",
+            types.class_count()
+        )));
+    }
+    if n_classes < n_builtin {
+        return Err(DecodeError::Malformed("class counts inconsistent".into()));
+    }
+    // Pre-declare local classes so forward references resolve.
+    for i in n_builtin..n_classes {
+        types.declare_class(ClassInfo {
+            name: format!("<class {i}>"),
+            superclass: None,
+            fields: vec![],
+            methods: vec![],
+            imported: false,
+        });
+    }
+    let mut has_body: Vec<(ClassId, usize)> = Vec::new();
+    for i in n_builtin..n_classes {
+        let cid = ClassId(i as u32);
+        let cname = r.string()?;
+        let sup = r.symbol(n_classes as u32)?;
+        let n_fields = cap(r.gamma()?, "field")?;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let fname = r.string()?;
+            let ty = read_type(&mut r, &mut types, 0)?;
+            let is_static = r.bits(1)? == 1;
+            fields.push(FieldInfo {
+                name: fname,
+                ty,
+                is_static,
+            });
+        }
+        let n_methods = cap(r.gamma()?, "method")?;
+        let mut methods = Vec::with_capacity(n_methods);
+        for mi in 0..n_methods {
+            let mname = r.string()?;
+            let n_params = cap(r.gamma()?, "parameter")?;
+            let mut params = Vec::with_capacity(n_params);
+            for _ in 0..n_params {
+                params.push(read_type(&mut r, &mut types, 0)?);
+            }
+            let ret = if r.bits(1)? == 1 {
+                Some(read_type(&mut r, &mut types, 0)?)
+            } else {
+                None
+            };
+            let kind = match r.symbol(crate::layout::METHOD_KINDS)? {
+                0 => MethodKind::Static,
+                1 => MethodKind::Virtual,
+                _ => MethodKind::Special,
+            };
+            let body = r.bits(1)? == 1;
+            if body {
+                has_body.push((cid, mi));
+            }
+            methods.push(MethodInfo {
+                name: mname,
+                params,
+                ret,
+                kind,
+                vtable_slot: None,
+                body: None,
+            });
+        }
+        let info = types.class_mut(cid);
+        info.name = cname;
+        info.superclass = Some(ClassId(sup));
+        info.fields = fields;
+        info.methods = methods;
+    }
+    // Reject superclass cycles before any recursive walk.
+    for i in 0..n_classes {
+        let mut seen = 0usize;
+        let mut cur = Some(ClassId(i as u32));
+        while let Some(c) = cur {
+            seen += 1;
+            if seen > n_classes {
+                return Err(DecodeError::Malformed("superclass cycle".into()));
+            }
+            cur = types
+                .class_checked(c)
+                .ok_or_else(|| DecodeError::Malformed("superclass out of range".into()))?
+                .superclass;
+        }
+    }
+    // Dispatch-table slots are derived by the consumer — never
+    // transmitted, so they cannot be corrupted.
+    derive_vtable_slots(&mut types)?;
+
+    // Function bodies.
+    let mut functions = Vec::with_capacity(has_body.len());
+    for (cid, mi) in has_body {
+        let fid = functions.len() as u32;
+        let fname = format!(
+            "{}.{}",
+            types.class(cid).name,
+            types.class(cid).methods[mi].name
+        );
+        let f = decode_function(&mut r, &mut types, cid, mi)
+            .map_err(|e| DecodeError::Malformed(format!("in {fname}: {e}")))?;
+        types.class_mut(cid).methods[mi].body = Some(fid);
+        functions.push(f);
+    }
+    Ok(Module {
+        name,
+        types,
+        well_known: host.well_known,
+        functions,
+    })
+}
+
+/// Decodes and fully verifies a module.
+///
+/// # Errors
+///
+/// Decode errors, or verification failures mapped to
+/// [`DecodeError::Malformed`].
+pub fn decode_and_verify(bytes: &[u8], host: &HostEnv) -> Result<Module, DecodeError> {
+    let m = decode_module(bytes, host)?;
+    safetsa_core::verify::verify_module(&m)
+        .map_err(|e| DecodeError::Malformed(format!("verification: {e}")))?;
+    Ok(m)
+}
+
+/// Recomputes virtual-dispatch slots from the method tables (same
+/// override rule as the producer: match by name, parameters, and
+/// return type along the superclass chain).
+fn derive_vtable_slots(types: &mut TypeTable) -> Result<(), DecodeError> {
+    let n = types.class_count();
+    let mut tables: Vec<Option<Vec<(ClassId, u32)>>> = vec![None; n];
+    fn build(
+        i: usize,
+        types: &mut TypeTable,
+        tables: &mut Vec<Option<Vec<(ClassId, u32)>>>,
+    ) -> Vec<(ClassId, u32)> {
+        if let Some(t) = &tables[i] {
+            return t.clone();
+        }
+        let sup = types.class(ClassId(i as u32)).superclass;
+        let mut table = match sup {
+            Some(s) => build(s.index(), types, tables),
+            None => Vec::new(),
+        };
+        let n_methods = types.class(ClassId(i as u32)).methods.len();
+        for mi in 0..n_methods {
+            let (name, params, ret, kind) = {
+                let m = &types.class(ClassId(i as u32)).methods[mi];
+                (m.name.clone(), m.params.clone(), m.ret, m.kind)
+            };
+            if kind != MethodKind::Virtual {
+                continue;
+            }
+            let mut slot = None;
+            for (s, &(oc, om)) in table.iter().enumerate() {
+                let o = &types.class(oc).methods[om as usize];
+                if o.name == name && o.params == params && o.ret == ret {
+                    slot = Some(s);
+                    break;
+                }
+            }
+            let s = match slot {
+                Some(s) => {
+                    table[s] = (ClassId(i as u32), mi as u32);
+                    s
+                }
+                None => {
+                    table.push((ClassId(i as u32), mi as u32));
+                    table.len() - 1
+                }
+            };
+            types.class_mut(ClassId(i as u32)).methods[mi].vtable_slot = Some(s as u32);
+        }
+        tables[i] = Some(table.clone());
+        table
+    }
+    for i in 0..n {
+        build(i, types, &mut tables);
+    }
+    Ok(())
+}
+
+const PLACEHOLDER: ValueId = ValueId(u32::MAX);
+
+struct FnDecoder<'a, 'b> {
+    r: &'a mut BitReader<'b>,
+    types: &'a mut TypeTable,
+    f: Function,
+    entry_used: bool,
+    label_depth: u32,
+    loop_depth: u32,
+    nodes: usize,
+}
+
+fn decode_function(
+    r: &mut BitReader<'_>,
+    types: &mut TypeTable,
+    class: ClassId,
+    method_idx: usize,
+) -> Result<Function, DecodeError> {
+    // Derive the signature from the (already decoded) method record.
+    let (params, ret, name) = {
+        let cinfo = types.class(class);
+        let m = &cinfo.methods[method_idx];
+        let name = format!("{}.{}", cinfo.name, m.name);
+        let mut params = Vec::with_capacity(m.params.len() + 1);
+        if m.kind != MethodKind::Static {
+            params.push((true, types.class_ty(class)));
+        }
+        for p in &m.params {
+            params.push((false, *p));
+        }
+        (params, m.ret, name)
+    };
+    let params: Vec<TypeId> = params
+        .into_iter()
+        .map(|(recv, ty)| if recv { types.safe_ref_of(ty) } else { ty })
+        .collect();
+    let f = Function::new(name, Some(class), params, ret);
+    let mut d = FnDecoder {
+        r,
+        types,
+        f,
+        entry_used: false,
+        label_depth: 0,
+        loop_depth: 0,
+        nodes: 0,
+    };
+    // Constant pool.
+    let n_consts = cap(d.r.gamma()?, "constant")?;
+    for _ in 0..n_consts {
+        let ty = read_type(d.r, d.types, 0)?;
+        let lit = d.read_literal(ty)?;
+        d.f.add_const(Const { ty, lit });
+    }
+    if d.f.consts.len() != n_consts {
+        return Err(DecodeError::Malformed("duplicate constant entries".into()));
+    }
+    // Phase 1: CST structure.
+    let body = d.parse_cst()?;
+    d.f.body = body;
+    // Phase 2a: opcodes, types, and member references of every block in
+    // traversal order. Operands arrive in phase 2b, by which point the
+    // complete control-flow graph (exception edges included) and every
+    // plane's register count are known — this is what makes decoding a
+    // single forward pass with context-determined symbol alphabets.
+    let structural = build_cfg(&d.f)?;
+    let traversal = structural.traversal.clone();
+    if traversal.len() != d.f.block_count() {
+        return Err(DecodeError::Malformed("blocks not covered by CST".into()));
+    }
+    for &b in &traversal {
+        let n_phis = cap(d.r.gamma()?, "phi")?;
+        for _ in 0..n_phis {
+            let ty = read_type(d.r, d.types, 0)?;
+            d.f.add_phi(b, ty);
+        }
+        let n_instrs = cap(d.r.gamma()?, "instruction")?;
+        for _ in 0..n_instrs {
+            let instr = d.read_instr_fields()?;
+            let result = crate::planes::result_plane(d.types, &instr)?;
+            d.f.add_instr_unchecked(b, instr, result);
+        }
+    }
+    // Final CFG for the reference phases; unreachable blocks must be
+    // empty (verified again later, but needed now so reference decoding
+    // never consults an unreachable block).
+    let cfg = build_cfg(&d.f)?;
+    let dom = DomTree::build(&cfg);
+    for &b in &traversal {
+        if !cfg.reachable[b.index()] && b != ENTRY {
+            let blk = d.f.block(b);
+            if !blk.phis.is_empty() || !blk.instrs.is_empty() {
+                return Err(DecodeError::Malformed(
+                    "code in an unreachable block".into(),
+                ));
+            }
+        }
+    }
+    // Phase 2b: operand references.
+    for &b in &traversal {
+        let n_instrs = d.f.block(b).instrs.len();
+        for k in 0..n_instrs {
+            let instr = d.f.block(b).instrs[k].clone();
+            let planes = crate::planes::operand_planes(d.types, &instr)?;
+            let mut vals = Vec::with_capacity(planes.len());
+            for plane in planes {
+                let v = read_ref(d.r, &d.f, &dom, b, Some(k), plane).map_err(|e| {
+                    DecodeError::Malformed(format!("operand in {b} instr {k}: {e}"))
+                })?;
+                vals.push(v);
+            }
+            let mut it = vals.into_iter();
+            let blk = &mut d.f.blocks[b.index()];
+            blk.instrs[k].map_operands(|_| it.next().expect("plane per operand"));
+            if it.next().is_some() {
+                return Err(DecodeError::Malformed("operand arity mismatch".into()));
+            }
+            // Safe-index results are bound to the array they were
+            // checked against (Appendix A).
+            if let Instr::IndexCheck { array, .. } = d.f.blocks[b.index()].instrs[k] {
+                if let Some(res) = d.f.instr_result(b, k) {
+                    d.f.set_provenance(res, Some(array));
+                }
+            }
+        }
+    }
+    // Phase 2c: CST value references.
+    let mut body = std::mem::replace(&mut d.f.body, Cst::Seq(vec![]));
+    {
+        let mut w = PatchWalk {
+            r: d.r,
+            types: d.types,
+            f: &d.f,
+            cfg: &cfg,
+            dom: &dom,
+        };
+        w.walk(&mut body, Fr::Start)?;
+    }
+    d.f.body = body;
+    // Phase 3: phi operands.
+    for &b in &cfg.traversal {
+        let preds = cfg.preds_of(b).to_vec();
+        let n_phis = d.f.block(b).phis.len();
+        for k in 0..n_phis {
+            let ty = d.f.block(b).phis[k].ty;
+            let mut args = Vec::with_capacity(preds.len());
+            for e in &preds {
+                let limit = match e.kind {
+                    EdgeKind::Normal => None,
+                    EdgeKind::Exception { upto } => Some(upto as usize),
+                };
+                let v = read_ref(d.r, &d.f, &dom, e.from, limit, ty)?;
+                args.push((e.from, v));
+            }
+            let result = d.f.phi_result(b, k);
+            // Safe-index phis inherit their provenance from the
+            // operands (Appendix A); the verifier re-checks agreement.
+            if d.types.is_safe_index(ty) {
+                let prov = args.first().and_then(|(_, v)| d.f.value(*v).provenance);
+                d.f.set_provenance(result, prov);
+            }
+            d.f.set_phi_args(b, k, args);
+        }
+    }
+    Ok(d.f)
+}
+
+fn build_cfg(f: &Function) -> Result<Cfg, DecodeError> {
+    Cfg::build(f).map_err(|e| DecodeError::Malformed(format!("control structure: {e}")))
+}
+
+impl<'a, 'b> FnDecoder<'a, 'b> {
+    fn read_literal(&mut self, ty: TypeId) -> Result<Literal, DecodeError> {
+        Ok(match self.types.kind(ty) {
+            TypeKind::Prim(PrimKind::Bool) => Literal::Bool(self.r.bits(1)? == 1),
+            TypeKind::Prim(PrimKind::Char) => Literal::Char(self.r.bits(16)? as u16),
+            TypeKind::Prim(PrimKind::Int) => Literal::Int(self.r.bits(32)? as u32 as i32),
+            TypeKind::Prim(PrimKind::Long) => Literal::Long(self.r.bits(64)? as i64),
+            TypeKind::Prim(PrimKind::Float) => {
+                Literal::Float(f32::from_bits(self.r.bits(32)? as u32))
+            }
+            TypeKind::Prim(PrimKind::Double) => Literal::Double(f64::from_bits(self.r.bits(64)?)),
+            TypeKind::Class(_) | TypeKind::Array(_) => {
+                if self.r.bits(1)? == 1 {
+                    // Strings live on the imported string plane only;
+                    // the module verifier re-checks the class.
+                    Literal::Str(self.r.string()?)
+                } else {
+                    Literal::Null
+                }
+            }
+            _ => return Err(DecodeError::Malformed("constant on a derived plane".into())),
+        })
+    }
+
+    fn alloc_block(&mut self) -> BlockId {
+        if !self.entry_used {
+            self.entry_used = true;
+            ENTRY
+        } else {
+            self.f.add_block()
+        }
+    }
+
+    fn parse_cst(&mut self) -> Result<Cst, DecodeError> {
+        self.nodes += 1;
+        if self.nodes as u64 > MAX_COUNT {
+            return Err(DecodeError::Malformed("CST too large".into()));
+        }
+        let tag = CstTag::from_u32(self.r.symbol(CST_TAGS)?)
+            .ok_or_else(|| DecodeError::Malformed("bad CST tag".into()))?;
+        Ok(match tag {
+            CstTag::Basic => Cst::Basic(self.alloc_block()),
+            CstTag::Seq => {
+                let n = cap(self.r.gamma()?, "sequence")?;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(self.parse_cst()?);
+                }
+                Cst::Seq(items)
+            }
+            CstTag::If => {
+                let join = self.alloc_block();
+                let then_br = Box::new(self.parse_cst()?);
+                let else_br = Box::new(self.parse_cst()?);
+                Cst::If {
+                    cond: PLACEHOLDER,
+                    then_br,
+                    else_br,
+                    join,
+                }
+            }
+            CstTag::Loop => {
+                let header = self.alloc_block();
+                self.loop_depth += 1;
+                let body = Box::new(self.parse_cst()?);
+                self.loop_depth -= 1;
+                Cst::Loop { header, body }
+            }
+            CstTag::Labeled => {
+                let join = self.alloc_block();
+                self.label_depth += 1;
+                let body = Box::new(self.parse_cst()?);
+                self.label_depth -= 1;
+                Cst::Labeled { body, join }
+            }
+            CstTag::Break => Cst::Break(self.r.symbol(self.label_depth)?),
+            CstTag::Continue => Cst::Continue(self.r.symbol(self.loop_depth)?),
+            CstTag::Return => Cst::Return(self.f.ret.map(|_| PLACEHOLDER)),
+            CstTag::Throw => Cst::Throw(PLACEHOLDER),
+            CstTag::Try => {
+                let body = Box::new(self.parse_cst()?);
+                let handler_entry = self.alloc_block();
+                let handler = Box::new(self.parse_cst()?);
+                let join = self.alloc_block();
+                Cst::Try {
+                    body,
+                    handler_entry,
+                    handler,
+                    join,
+                }
+            }
+        })
+    }
+
+    fn read_field_ref(&mut self) -> Result<FieldRef, DecodeError> {
+        let class = ClassId(self.r.symbol(self.types.class_count() as u32)?);
+        let n = self.types.class(class).fields.len() as u32;
+        let index = self.r.symbol(n)?;
+        Ok(FieldRef { class, index })
+    }
+
+    fn read_method_ref(&mut self) -> Result<MethodRef, DecodeError> {
+        let class = ClassId(self.r.symbol(self.types.class_count() as u32)?);
+        let n = self.types.class(class).methods.len() as u32;
+        let index = self.r.symbol(n)?;
+        Ok(MethodRef { class, index })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn read_instr_fields(&mut self) -> Result<Instr, DecodeError> {
+        const P: ValueId = PLACEHOLDER;
+        let opc = Opc::from_u32(self.r.symbol(OPCODES)?)
+            .ok_or_else(|| DecodeError::Malformed("bad opcode".into()))?;
+        Ok(match opc {
+            Opc::Primitive | Opc::XPrimitive => {
+                let ty = read_type(self.r, self.types, 0)?;
+                let kind = match self.types.kind(ty) {
+                    TypeKind::Prim(p) => p,
+                    _ => {
+                        return Err(DecodeError::Malformed(
+                            "primitive on non-primitive plane".into(),
+                        ))
+                    }
+                };
+                let table = primops::ops_of(kind);
+                let op = PrimOpId(self.r.symbol(table.len() as u32)? as u16);
+                let desc = &table[op.index()];
+                let wants_x = opc == Opc::XPrimitive;
+                if desc.exceptional != wants_x {
+                    return Err(DecodeError::Malformed(
+                        "operation exceptionality mismatch".into(),
+                    ));
+                }
+                let args = vec![P; desc.params.len()];
+                if wants_x {
+                    Instr::XPrimitive { ty, op, args }
+                } else {
+                    Instr::Primitive { ty, op, args }
+                }
+            }
+            Opc::NullCheck => {
+                let ty = read_type(self.r, self.types, 0)?;
+                Instr::NullCheck { ty, value: P }
+            }
+            Opc::IndexCheck => {
+                let arr_ty = read_type(self.r, self.types, 0)?;
+                Instr::IndexCheck {
+                    arr_ty,
+                    array: P,
+                    index: P,
+                }
+            }
+            Opc::Upcast => {
+                let from = read_type(self.r, self.types, 0)?;
+                let to = read_type(self.r, self.types, 0)?;
+                Instr::Upcast { from, to, value: P }
+            }
+            Opc::Downcast => {
+                let from = read_type(self.r, self.types, 0)?;
+                let to = read_type(self.r, self.types, 0)?;
+                Instr::Downcast { from, to, value: P }
+            }
+            Opc::GetField => {
+                let ty = read_type(self.r, self.types, 0)?;
+                let field = self.read_field_ref()?;
+                Instr::GetField {
+                    ty,
+                    object: P,
+                    field,
+                }
+            }
+            Opc::SetField => {
+                let ty = read_type(self.r, self.types, 0)?;
+                let field = self.read_field_ref()?;
+                Instr::SetField {
+                    ty,
+                    object: P,
+                    field,
+                    value: P,
+                }
+            }
+            Opc::GetStatic => Instr::GetStatic {
+                field: self.read_field_ref()?,
+            },
+            Opc::SetStatic => Instr::SetStatic {
+                field: self.read_field_ref()?,
+                value: P,
+            },
+            Opc::GetElt => {
+                let arr_ty = read_type(self.r, self.types, 0)?;
+                Instr::GetElt {
+                    arr_ty,
+                    array: P,
+                    index: P,
+                }
+            }
+            Opc::SetElt => {
+                let arr_ty = read_type(self.r, self.types, 0)?;
+                Instr::SetElt {
+                    arr_ty,
+                    array: P,
+                    index: P,
+                    value: P,
+                }
+            }
+            Opc::ArrayLength => {
+                let arr_ty = read_type(self.r, self.types, 0)?;
+                Instr::ArrayLength { arr_ty, array: P }
+            }
+            Opc::New => {
+                let class_ty = read_type(self.r, self.types, 0)?;
+                Instr::New { class_ty }
+            }
+            Opc::NewArray => {
+                let arr_ty = read_type(self.r, self.types, 0)?;
+                Instr::NewArray { arr_ty, length: P }
+            }
+            Opc::XCall => {
+                let base_ty = read_type(self.r, self.types, 0)?;
+                let method = self.read_method_ref()?;
+                let has_recv = self.r.bits(1)? == 1;
+                let n = self
+                    .types
+                    .method(method)
+                    .ok_or_else(|| DecodeError::Malformed("bad method".into()))?
+                    .params
+                    .len();
+                Instr::XCall {
+                    base_ty,
+                    method,
+                    receiver: has_recv.then_some(P),
+                    args: vec![P; n],
+                }
+            }
+            Opc::XDispatch => {
+                let base_ty = read_type(self.r, self.types, 0)?;
+                let method = self.read_method_ref()?;
+                let n = self
+                    .types
+                    .method(method)
+                    .ok_or_else(|| DecodeError::Malformed("bad method".into()))?
+                    .params
+                    .len();
+                Instr::XDispatch {
+                    base_ty,
+                    method,
+                    receiver: P,
+                    args: vec![P; n],
+                }
+            }
+            Opc::RefEq => {
+                let ty = read_type(self.r, self.types, 0)?;
+                Instr::RefEq { ty, a: P, b: P }
+            }
+            Opc::InstanceOf => {
+                let from = read_type(self.r, self.types, 0)?;
+                let target = read_type(self.r, self.types, 0)?;
+                Instr::InstanceOf {
+                    from,
+                    target,
+                    value: P,
+                }
+            }
+            Opc::Catch => {
+                let ty = read_type(self.r, self.types, 0)?;
+                Instr::Catch { ty }
+            }
+        })
+    }
+}
+
+// --------------------------------------------------------------------
+// Phase 2c: patch the CST value references in frontier-walk order.
+
+#[derive(Clone, Copy, PartialEq)]
+enum Fr {
+    Start,
+    At(BlockId),
+    Dead,
+}
+
+struct PatchWalk<'a, 'b> {
+    r: &'a mut BitReader<'b>,
+    types: &'a mut TypeTable,
+    f: &'a Function,
+    cfg: &'a Cfg,
+    dom: &'a DomTree,
+}
+
+impl<'a, 'b> PatchWalk<'a, 'b> {
+    fn live_join(&self, join: BlockId) -> Fr {
+        if self.cfg.preds_of(join).is_empty() {
+            Fr::Dead
+        } else {
+            Fr::At(join)
+        }
+    }
+
+    fn walk(&mut self, cst: &mut Cst, fr: Fr) -> Result<Fr, DecodeError> {
+        Ok(match cst {
+            Cst::Basic(b) => match fr {
+                Fr::Dead => Fr::Dead,
+                _ => Fr::At(*b),
+            },
+            Cst::Seq(items) => {
+                let mut cur = fr;
+                for c in items {
+                    cur = self.walk(c, cur)?;
+                }
+                cur
+            }
+            Cst::If {
+                cond,
+                then_br,
+                else_br,
+                join,
+            } => {
+                if let Fr::At(b) = fr {
+                    let bool_ty = self.types.bool_ty();
+                    *cond = read_ref(self.r, self.f, self.dom, b, None, bool_ty)?;
+                }
+                let join = *join;
+                self.walk(then_br, fr)?;
+                self.walk(else_br, fr)?;
+                self.live_join(join)
+            }
+            Cst::Loop { header, body } => {
+                let inner = match fr {
+                    Fr::Dead => Fr::Dead,
+                    _ => Fr::At(*header),
+                };
+                self.walk(body, inner)?;
+                Fr::Dead
+            }
+            Cst::Labeled { body, join } => {
+                let join = *join;
+                self.walk(body, fr)?;
+                self.live_join(join)
+            }
+            Cst::Break(_) | Cst::Continue(_) => Fr::Dead,
+            Cst::Return(v) => {
+                if let (Fr::At(b), Some(slot)) = (fr, v.as_mut()) {
+                    let plane = self
+                        .f
+                        .ret
+                        .ok_or_else(|| DecodeError::Malformed("value return in void".into()))?;
+                    *slot = read_ref(self.r, self.f, self.dom, b, None, plane)?;
+                }
+                Fr::Dead
+            }
+            Cst::Throw(v) => {
+                if let Fr::At(b) = fr {
+                    let plane = read_type(self.r, self.types, 0)?;
+                    *v = read_ref(self.r, self.f, self.dom, b, None, plane)?;
+                }
+                Fr::Dead
+            }
+            Cst::Try {
+                body,
+                handler_entry,
+                handler,
+                join,
+            } => {
+                let (he, join) = (*handler_entry, *join);
+                self.walk(body, fr)?;
+                let h = if self.cfg.preds_of(he).is_empty() {
+                    Fr::Dead
+                } else {
+                    Fr::At(he)
+                };
+                self.walk(handler, h)?;
+                self.live_join(join)
+            }
+        })
+    }
+}

@@ -1,0 +1,108 @@
+//! Wire-layout constants shared by encoder and decoder.
+
+/// Magic number `"STSA"`.
+pub const MAGIC: u32 = 0x5354_5341;
+/// Format version.
+pub const VERSION: u8 = 1;
+
+/// Opcode numbering (cardinality [`OPCODES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+#[allow(missing_docs)]
+pub enum Opc {
+    Primitive = 0,
+    XPrimitive,
+    NullCheck,
+    IndexCheck,
+    Upcast,
+    Downcast,
+    GetField,
+    SetField,
+    GetStatic,
+    SetStatic,
+    GetElt,
+    SetElt,
+    ArrayLength,
+    New,
+    NewArray,
+    XCall,
+    XDispatch,
+    RefEq,
+    InstanceOf,
+    Catch,
+}
+
+/// Number of opcodes.
+pub const OPCODES: u32 = 20;
+
+impl Opc {
+    /// Decodes an opcode symbol.
+    pub fn from_u32(v: u32) -> Option<Opc> {
+        use Opc::*;
+        Some(match v {
+            0 => Primitive,
+            1 => XPrimitive,
+            2 => NullCheck,
+            3 => IndexCheck,
+            4 => Upcast,
+            5 => Downcast,
+            6 => GetField,
+            7 => SetField,
+            8 => GetStatic,
+            9 => SetStatic,
+            10 => GetElt,
+            11 => SetElt,
+            12 => ArrayLength,
+            13 => New,
+            14 => NewArray,
+            15 => XCall,
+            16 => XDispatch,
+            17 => RefEq,
+            18 => InstanceOf,
+            19 => Catch,
+            _ => return None,
+        })
+    }
+}
+
+/// CST production numbering (cardinality [`CST_TAGS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CstTag {
+    Basic = 0,
+    Seq,
+    If,
+    Loop,
+    Labeled,
+    Break,
+    Continue,
+    Return,
+    Throw,
+    Try,
+}
+
+/// Number of CST productions.
+pub const CST_TAGS: u32 = 10;
+
+impl CstTag {
+    /// Decodes a CST production symbol.
+    pub fn from_u32(v: u32) -> Option<CstTag> {
+        use CstTag::*;
+        Some(match v {
+            0 => Basic,
+            1 => Seq,
+            2 => If,
+            3 => Loop,
+            4 => Labeled,
+            5 => Break,
+            6 => Continue,
+            7 => Return,
+            8 => Throw,
+            9 => Try,
+            _ => return None,
+        })
+    }
+}
+
+/// Method-kind numbering (cardinality 3).
+pub const METHOD_KINDS: u32 = 3;

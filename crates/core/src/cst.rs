@@ -1,0 +1,194 @@
+//! The Control Structure Tree (CST).
+//!
+//! SafeTSA partitions a method into a *Control Structure Tree* — the
+//! structural part of the UAST — and blocks of SafeTSA instructions
+//! (§7). The CST encodes structured control flow only (sequence,
+//! if/else, loops, breaks, exception regions); a coherent control-flow
+//! graph and dominator tree are *derived* from it (see
+//! [`crate::cfg`]), which is what makes the `(l, r)` reference scheme
+//! verifiable without dataflow analysis.
+//!
+//! Conventions:
+//!
+//! * Every join point is an explicit block owned by the structured node
+//!   (`If::join`, `Labeled::join`, `Try::join`), so phi placement is
+//!   always anchored to the tree.
+//! * [`Cst::Loop`] is an infinite loop; the loop *header* holds the
+//!   loop phis, and falling off the end of the body (or `Continue`)
+//!   forms the back edge. Source-level `while`/`for`/`do` are expressed
+//!   with a `Labeled` wrapper whose join is the loop exit and an `If`
+//!   containing `Break` for the exit test, mirroring the single-pass
+//!   Brandis–Mössenböck construction.
+//! * `Break(n)` targets the `n`-th enclosing [`Cst::Labeled`]
+//!   (innermost = 0); `Continue(n)` targets the `n`-th enclosing
+//!   [`Cst::Loop`] header.
+
+use crate::value::{BlockId, ValueId};
+
+/// A node of the Control Structure Tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cst {
+    /// A straight-line basic block of instructions.
+    Basic(BlockId),
+    /// Sequential composition.
+    Seq(Vec<Cst>),
+    /// Two-way conditional. `cond` must be a `boolean` value dominating
+    /// the node; `join` is the merge block holding the phis.
+    If {
+        /// The branch condition (on the `boolean` plane).
+        cond: ValueId,
+        /// Taken when `cond` is true.
+        then_br: Box<Cst>,
+        /// Taken when `cond` is false.
+        else_br: Box<Cst>,
+        /// The merge block (holds phis; may be unreachable and empty if
+        /// both branches terminate abruptly).
+        join: BlockId,
+    },
+    /// Infinite loop: `header` (phi block) executes, then `body`;
+    /// control returns to `header` when the body falls through or a
+    /// `Continue` targets this loop. Exited only by `Break`, `Return`,
+    /// or `Throw`.
+    Loop {
+        /// The loop header block (loop phis live here).
+        header: BlockId,
+        /// The loop body.
+        body: Box<Cst>,
+    },
+    /// Break target region: `Break(n)` inside `body` transfers control
+    /// to `join`.
+    Labeled {
+        /// The labeled body.
+        body: Box<Cst>,
+        /// The block control lands on after a `Break` (or after the body
+        /// falls through).
+        join: BlockId,
+    },
+    /// Jump to the join of the `n`-th enclosing [`Cst::Labeled`].
+    Break(u32),
+    /// Jump to the header of the `n`-th enclosing [`Cst::Loop`].
+    Continue(u32),
+    /// Return from the function, optionally with a value.
+    Return(Option<ValueId>),
+    /// Raise the referenced throwable.
+    Throw(ValueId),
+    /// Exception region. Every exceptional instruction inside `body`
+    /// adds an implicit edge to `handler_entry` (§7); `handler_entry`
+    /// holds the exception phis and the `catch` instruction, and is
+    /// followed by `handler` (the lowered catch arms). Normal exit of
+    /// `body` or `handler` falls through to `join`.
+    Try {
+        /// The protected region.
+        body: Box<Cst>,
+        /// The block receiving all exception edges (phis + `catch`).
+        handler_entry: BlockId,
+        /// The lowered catch arms (instanceof chains, re-throw default).
+        handler: Box<Cst>,
+        /// The normal-path merge block.
+        join: BlockId,
+    },
+}
+
+impl Cst {
+    /// An empty statement.
+    pub fn empty() -> Cst {
+        Cst::Seq(Vec::new())
+    }
+
+    /// Whether this subtree is an empty sequence.
+    pub fn is_empty_seq(&self) -> bool {
+        matches!(self, Cst::Seq(v) if v.is_empty())
+    }
+
+    /// Calls `f` on every node of the subtree, pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Cst)) {
+        f(self);
+        match self {
+            Cst::Seq(items) => {
+                for c in items {
+                    c.walk(f);
+                }
+            }
+            Cst::If {
+                then_br, else_br, ..
+            } => {
+                then_br.walk(f);
+                else_br.walk(f);
+            }
+            Cst::Loop { body, .. } | Cst::Labeled { body, .. } => body.walk(f),
+            Cst::Try { body, handler, .. } => {
+                body.walk(f);
+                handler.walk(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// All block ids mentioned by the subtree, in traversal order
+    /// (basic blocks where they execute, join/header blocks at their
+    /// owning node).
+    pub fn blocks(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.walk(&mut |c| match c {
+            Cst::Basic(b) => out.push(*b),
+            Cst::If { join, .. } => out.push(*join),
+            Cst::Loop { header, .. } => out.push(*header),
+            Cst::Labeled { join, .. } => out.push(*join),
+            Cst::Try {
+                handler_entry,
+                join,
+                ..
+            } => {
+                out.push(*handler_entry);
+                out.push(*join);
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Number of nodes in the subtree (used by encoding statistics).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_seq() {
+        assert!(Cst::empty().is_empty_seq());
+        assert!(!Cst::Basic(BlockId(0)).is_empty_seq());
+    }
+
+    #[test]
+    fn walk_visits_all() {
+        let tree = Cst::Seq(vec![
+            Cst::Basic(BlockId(0)),
+            Cst::If {
+                cond: ValueId(0),
+                then_br: Box::new(Cst::Basic(BlockId(1))),
+                else_br: Box::new(Cst::empty()),
+                join: BlockId(2),
+            },
+        ]);
+        assert_eq!(tree.node_count(), 5);
+        assert_eq!(tree.blocks(), vec![BlockId(0), BlockId(2), BlockId(1)]);
+    }
+
+    #[test]
+    fn loop_blocks() {
+        let tree = Cst::Labeled {
+            body: Box::new(Cst::Loop {
+                header: BlockId(1),
+                body: Box::new(Cst::Seq(vec![Cst::Basic(BlockId(2)), Cst::Break(0)])),
+            }),
+            join: BlockId(3),
+        };
+        assert_eq!(tree.blocks(), vec![BlockId(3), BlockId(1), BlockId(2)]);
+    }
+}

@@ -1,0 +1,479 @@
+//! The SafeTSA instruction set.
+//!
+//! Every instruction implicitly selects the register planes of its
+//! operands and of its result from its opcode and type parameters (§3);
+//! the operand fields only carry register *numbers* on those planes.
+//! The result register is always the next free register on the result
+//! plane of the current block, so results are never named explicitly.
+
+use crate::primops::PrimOpId;
+use crate::types::{FieldRef, MethodRef, TypeId};
+use crate::value::ValueId;
+
+/// One SafeTSA instruction.
+///
+/// Operands are absolute [`ValueId`]s in memory; the encoder turns them
+/// into dominator-relative `(l, r)` pairs on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `primitive base-type operation operand…` (§5). Never traps.
+    Primitive {
+        /// Base primitive type (a `Prim` plane).
+        ty: TypeId,
+        /// Operation within that type's table.
+        op: PrimOpId,
+        /// Operands on the planes dictated by the operation signature.
+        args: Vec<ValueId>,
+    },
+    /// `xprimitive base-type operation operand…` (§5). May trap; adds an
+    /// incoming exception edge when inside a `try` region.
+    XPrimitive {
+        /// Base primitive type.
+        ty: TypeId,
+        /// Operation within that type's table (must be exceptional).
+        op: PrimOpId,
+        /// Operands.
+        args: Vec<ValueId>,
+    },
+    /// Null check (§4): coerces a `ref` value onto the `safe-ref` plane,
+    /// trapping if it is `null`.
+    NullCheck {
+        /// The unsafe reference type being checked.
+        ty: TypeId,
+        /// Operand on the `ty` plane.
+        value: ValueId,
+    },
+    /// Index check (§4): coerces an `int` onto the `safe-index` plane of
+    /// `array`'s type, trapping if out of bounds. The resulting value is
+    /// bound to the particular `array` value (Appendix A).
+    IndexCheck {
+        /// The array type whose safe-index plane receives the result.
+        arr_ty: TypeId,
+        /// The array, on the `safe-ref(arr_ty)` plane.
+        array: ValueId,
+        /// The candidate index, on the `int` plane.
+        index: ValueId,
+    },
+    /// Dynamically checked cast (§4 "upcast"): traps if the value's
+    /// runtime type is not assignable to `to`.
+    Upcast {
+        /// Static plane of the operand.
+        from: TypeId,
+        /// Target reference plane.
+        to: TypeId,
+        /// Operand on the `from` plane.
+        value: ValueId,
+    },
+    /// Statically safe cast (§4 "downcast"): e.g. `safe-ref → ref` or
+    /// `ref → superclass ref`. Generates no target-machine code; the
+    /// verifier insists the cast is provably safe.
+    Downcast {
+        /// Static plane of the operand.
+        from: TypeId,
+        /// Target plane, which `from` must be statically assignable to.
+        to: TypeId,
+        /// Operand on the `from` plane.
+        value: ValueId,
+    },
+    /// `getfield ref-type object field` (§4).
+    GetField {
+        /// Declared reference type of the object.
+        ty: TypeId,
+        /// Object on the `safe-ref(ty)` plane.
+        object: ValueId,
+        /// Symbolic member reference.
+        field: FieldRef,
+    },
+    /// `setfield ref-type object field value` (§4).
+    SetField {
+        /// Declared reference type of the object.
+        ty: TypeId,
+        /// Object on the `safe-ref(ty)` plane.
+        object: ValueId,
+        /// Symbolic member reference.
+        field: FieldRef,
+        /// Value on the field's plane.
+        value: ValueId,
+    },
+    /// Static-field read; the storage designator is the class itself, so
+    /// no null check is involved.
+    GetStatic {
+        /// Symbolic member reference (the class is `field.class`).
+        field: FieldRef,
+    },
+    /// Static-field write.
+    SetStatic {
+        /// Symbolic member reference.
+        field: FieldRef,
+        /// Value on the field's plane.
+        value: ValueId,
+    },
+    /// `getelt array-type object index` (§4).
+    GetElt {
+        /// The array type.
+        arr_ty: TypeId,
+        /// Array on the `safe-ref(arr_ty)` plane.
+        array: ValueId,
+        /// Index on the `safe-index(arr_ty)` plane, bound to `array`.
+        index: ValueId,
+    },
+    /// `setelt array-type object index value` (§4).
+    SetElt {
+        /// The array type.
+        arr_ty: TypeId,
+        /// Array on the `safe-ref(arr_ty)` plane.
+        array: ValueId,
+        /// Index on the `safe-index(arr_ty)` plane, bound to `array`.
+        index: ValueId,
+        /// Value on the element plane.
+        value: ValueId,
+    },
+    /// Reads an array's length onto the `int` plane.
+    ArrayLength {
+        /// The array type.
+        arr_ty: TypeId,
+        /// Array on the `safe-ref(arr_ty)` plane.
+        array: ValueId,
+    },
+    /// Allocates an instance of a class; result on the class's
+    /// `safe-ref` plane — a fresh allocation is never null (fields
+    /// zero-initialized, constructor called separately).
+    New {
+        /// The class reference plane.
+        class_ty: TypeId,
+    },
+    /// Allocates an array; traps on negative length. Result on the
+    /// array type's `safe-ref` plane (never null).
+    NewArray {
+        /// The array type.
+        arr_ty: TypeId,
+        /// Length on the `int` plane.
+        length: ValueId,
+    },
+    /// `xcall base-type receiver method operand…` (§6): statically bound
+    /// invocation (static methods, constructors, `super` calls).
+    XCall {
+        /// Static type of the receiver (ignored for static methods).
+        base_ty: TypeId,
+        /// Symbolic method reference.
+        method: MethodRef,
+        /// Receiver on the `safe-ref(base_ty)` plane; `None` for statics.
+        receiver: Option<ValueId>,
+        /// Arguments on the parameter planes.
+        args: Vec<ValueId>,
+    },
+    /// `xdispatch base-type receiver method operand…` (§6): dynamic
+    /// dispatch through the vtable slot determined by the static type.
+    XDispatch {
+        /// Static type of the receiver.
+        base_ty: TypeId,
+        /// Symbolic method reference (must be virtual).
+        method: MethodRef,
+        /// Receiver on the `safe-ref(base_ty)` plane.
+        receiver: ValueId,
+        /// Arguments on the parameter planes.
+        args: Vec<ValueId>,
+    },
+    /// Reference identity comparison (`==` on references, including
+    /// `null` tests); both operands on the same plane, result on the
+    /// `boolean` plane. Reference planes are type-separated, so this
+    /// cannot be expressed as a primitive operation.
+    RefEq {
+        /// The common reference plane of both operands.
+        ty: TypeId,
+        /// Left operand.
+        a: ValueId,
+        /// Right operand.
+        b: ValueId,
+    },
+    /// Runtime type test; result on the `boolean` plane.
+    InstanceOf {
+        /// Static plane of the operand (a `ref` or `safe-ref` plane).
+        from: TypeId,
+        /// The reference type tested against.
+        target: TypeId,
+        /// Operand.
+        value: ValueId,
+    },
+    /// Materializes the in-flight exception at the entry of a handler
+    /// block; result on the plane of the root throwable class.
+    Catch {
+        /// The throwable reference plane.
+        ty: TypeId,
+    },
+}
+
+impl Instr {
+    /// Whether this instruction can raise an exception and therefore
+    /// contributes an exception edge when it occurs inside a `try`
+    /// region (§7: "at any point where an exception may occur").
+    pub fn is_exceptional(&self) -> bool {
+        matches!(
+            self,
+            Instr::XPrimitive { .. }
+                | Instr::NullCheck { .. }
+                | Instr::IndexCheck { .. }
+                | Instr::Upcast { .. }
+                | Instr::NewArray { .. }
+                | Instr::XCall { .. }
+                | Instr::XDispatch { .. }
+        )
+    }
+
+    /// Whether this instruction reads or writes the heap (used by the
+    /// optimizer's `Mem` dependence machinery, §8).
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::GetField { .. }
+                | Instr::SetField { .. }
+                | Instr::GetStatic { .. }
+                | Instr::SetStatic { .. }
+                | Instr::GetElt { .. }
+                | Instr::SetElt { .. }
+                | Instr::XCall { .. }
+                | Instr::XDispatch { .. }
+        )
+    }
+
+    /// Whether the instruction may *write* memory (defines a new `Mem`).
+    pub fn writes_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::SetField { .. }
+                | Instr::SetStatic { .. }
+                | Instr::SetElt { .. }
+                | Instr::XCall { .. }
+                | Instr::XDispatch { .. }
+        )
+    }
+
+    /// Iterates over the operand values, in signature order.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Instr::Primitive { args, .. } | Instr::XPrimitive { args, .. } => args.clone(),
+            Instr::NullCheck { value, .. }
+            | Instr::Upcast { value, .. }
+            | Instr::Downcast { value, .. }
+            | Instr::InstanceOf { value, .. }
+            | Instr::SetStatic { value, .. } => vec![*value],
+            Instr::IndexCheck { array, index, .. } => vec![*array, *index],
+            Instr::RefEq { a, b, .. } => vec![*a, *b],
+            Instr::GetField { object, .. } => vec![*object],
+            Instr::SetField { object, value, .. } => vec![*object, *value],
+            Instr::GetStatic { .. } | Instr::New { .. } | Instr::Catch { .. } => vec![],
+            Instr::GetElt { array, index, .. } => vec![*array, *index],
+            Instr::SetElt {
+                array,
+                index,
+                value,
+                ..
+            } => vec![*array, *index, *value],
+            Instr::ArrayLength { array, .. } => vec![*array],
+            Instr::NewArray { length, .. } => vec![*length],
+            Instr::XCall { receiver, args, .. } => {
+                let mut v: Vec<ValueId> = receiver.iter().copied().collect();
+                v.extend_from_slice(args);
+                v
+            }
+            Instr::XDispatch { receiver, args, .. } => {
+                let mut v = vec![*receiver];
+                v.extend_from_slice(args);
+                v
+            }
+        }
+    }
+
+    /// Rewrites every operand through `f` (used by optimization passes).
+    pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
+        match self {
+            Instr::Primitive { args, .. } | Instr::XPrimitive { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Instr::NullCheck { value, .. }
+            | Instr::Upcast { value, .. }
+            | Instr::Downcast { value, .. }
+            | Instr::InstanceOf { value, .. }
+            | Instr::SetStatic { value, .. } => *value = f(*value),
+            Instr::IndexCheck { array, index, .. } => {
+                *array = f(*array);
+                *index = f(*index);
+            }
+            Instr::RefEq { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Instr::GetField { object, .. } => *object = f(*object),
+            Instr::SetField { object, value, .. } => {
+                *object = f(*object);
+                *value = f(*value);
+            }
+            Instr::GetStatic { .. } | Instr::New { .. } | Instr::Catch { .. } => {}
+            Instr::GetElt { array, index, .. } => {
+                *array = f(*array);
+                *index = f(*index);
+            }
+            Instr::SetElt {
+                array,
+                index,
+                value,
+                ..
+            } => {
+                *array = f(*array);
+                *index = f(*index);
+                *value = f(*value);
+            }
+            Instr::ArrayLength { array, .. } => *array = f(*array),
+            Instr::NewArray { length, .. } => *length = f(*length),
+            Instr::XCall { receiver, args, .. } => {
+                if let Some(r) = receiver {
+                    *r = f(*r);
+                }
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Instr::XDispatch { receiver, args, .. } => {
+                *receiver = f(*receiver);
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+
+    /// A short mnemonic for statistics and pretty printing.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Primitive { .. } => "primitive",
+            Instr::XPrimitive { .. } => "xprimitive",
+            Instr::NullCheck { .. } => "nullcheck",
+            Instr::IndexCheck { .. } => "indexcheck",
+            Instr::Upcast { .. } => "upcast",
+            Instr::Downcast { .. } => "downcast",
+            Instr::GetField { .. } => "getfield",
+            Instr::SetField { .. } => "setfield",
+            Instr::GetStatic { .. } => "getstatic",
+            Instr::SetStatic { .. } => "setstatic",
+            Instr::GetElt { .. } => "getelt",
+            Instr::SetElt { .. } => "setelt",
+            Instr::ArrayLength { .. } => "arraylength",
+            Instr::New { .. } => "new",
+            Instr::NewArray { .. } => "newarray",
+            Instr::XCall { .. } => "xcall",
+            Instr::XDispatch { .. } => "xdispatch",
+            Instr::RefEq { .. } => "refeq",
+            Instr::InstanceOf { .. } => "instanceof",
+            Instr::Catch { .. } => "catch",
+        }
+    }
+}
+
+/// A phi node. Phis are strictly type-separated: all operands and the
+/// result live on the same plane (§4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phi {
+    /// The plane of the phi and all of its operands.
+    pub ty: TypeId,
+    /// One operand per incoming CFG edge, keyed by predecessor block.
+    /// The encoder linearizes these into the canonical edge order of the
+    /// join block.
+    pub args: Vec<(crate::value::BlockId, ValueId)>,
+}
+
+impl Phi {
+    /// The operand arriving from `pred`, if any.
+    pub fn arg_from(&self, pred: crate::value::BlockId) -> Option<ValueId> {
+        self.args.iter().find(|(b, _)| *b == pred).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClassId;
+
+    #[test]
+    fn exceptional_classification() {
+        let nc = Instr::NullCheck {
+            ty: TypeId(0),
+            value: ValueId(0),
+        };
+        assert!(nc.is_exceptional());
+        let prim = Instr::Primitive {
+            ty: TypeId(2),
+            op: PrimOpId(0),
+            args: vec![ValueId(0), ValueId(1)],
+        };
+        assert!(!prim.is_exceptional());
+        let xprim = Instr::XPrimitive {
+            ty: TypeId(2),
+            op: PrimOpId(3),
+            args: vec![ValueId(0), ValueId(1)],
+        };
+        assert!(xprim.is_exceptional());
+    }
+
+    #[test]
+    fn operand_listing_and_mapping() {
+        let mut i = Instr::SetElt {
+            arr_ty: TypeId(9),
+            array: ValueId(1),
+            index: ValueId(2),
+            value: ValueId(3),
+        };
+        assert_eq!(i.operands(), vec![ValueId(1), ValueId(2), ValueId(3)]);
+        i.map_operands(|v| ValueId(v.0 + 10));
+        assert_eq!(i.operands(), vec![ValueId(11), ValueId(12), ValueId(13)]);
+    }
+
+    #[test]
+    fn call_operands_include_receiver() {
+        let call = Instr::XCall {
+            base_ty: TypeId(7),
+            method: MethodRef {
+                class: ClassId(0),
+                index: 0,
+            },
+            receiver: Some(ValueId(5)),
+            args: vec![ValueId(6)],
+        };
+        assert_eq!(call.operands(), vec![ValueId(5), ValueId(6)]);
+        let stat = Instr::XCall {
+            base_ty: TypeId(7),
+            method: MethodRef {
+                class: ClassId(0),
+                index: 0,
+            },
+            receiver: None,
+            args: vec![ValueId(6)],
+        };
+        assert_eq!(stat.operands(), vec![ValueId(6)]);
+    }
+
+    #[test]
+    fn memory_classification() {
+        let gf = Instr::GetField {
+            ty: TypeId(8),
+            object: ValueId(0),
+            field: FieldRef {
+                class: ClassId(0),
+                index: 0,
+            },
+        };
+        assert!(gf.touches_memory());
+        assert!(!gf.writes_memory());
+        let sf = Instr::SetField {
+            ty: TypeId(8),
+            object: ValueId(0),
+            field: FieldRef {
+                class: ClassId(0),
+                index: 0,
+            },
+            value: ValueId(1),
+        };
+        assert!(sf.writes_memory());
+    }
+}

@@ -1,0 +1,252 @@
+//! The primitive-operation tables of the SafeTSA machine model.
+//!
+//! Per §5 of the paper, primitive operations are *subordinate to types*:
+//! the instruction set contains only the generic `primitive` and
+//! `xprimitive` instructions, and each primitive type brings its own
+//! table of named operations. Operations that can raise an exception
+//! (e.g. integer division) are marked *exceptional* and may only be
+//! referenced through `xprimitive`.
+//!
+//! These tables are part of the trusted machine model: they are never
+//! transmitted and can therefore not be corrupted by a code producer.
+
+use crate::types::PrimKind;
+
+/// Index of an operation inside the table of its base type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrimOpId(pub u16);
+
+impl PrimOpId {
+    /// Raw index into the per-type operation table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Signature and exception behaviour of one primitive operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimOp {
+    /// Symbolic name, e.g. `"add"`, `"to_double"`.
+    pub name: &'static str,
+    /// Parameter planes.
+    pub params: &'static [PrimKind],
+    /// Result plane.
+    pub result: PrimKind,
+    /// Whether the operation may raise an exception; if so it must be
+    /// invoked through `xprimitive` (§5).
+    pub exceptional: bool,
+}
+
+macro_rules! ops {
+    ($($name:literal ($($p:ident),*) -> $r:ident $($x:ident)?;)*) => {
+        &[$(PrimOp {
+            name: $name,
+            params: &[$(PrimKind::$p),*],
+            result: PrimKind::$r,
+            exceptional: ops!(@x $($x)?),
+        }),*]
+    };
+    (@x) => { false };
+    (@x x) => { true };
+}
+
+/// Operations on `boolean`.
+pub const BOOL_OPS: &[PrimOp] = ops! {
+    "and" (Bool, Bool) -> Bool;
+    "or"  (Bool, Bool) -> Bool;
+    "xor" (Bool, Bool) -> Bool;
+    "not" (Bool) -> Bool;
+    "eq"  (Bool, Bool) -> Bool;
+    "ne"  (Bool, Bool) -> Bool;
+};
+
+/// Operations on `char`.
+pub const CHAR_OPS: &[PrimOp] = ops! {
+    "eq" (Char, Char) -> Bool;
+    "ne" (Char, Char) -> Bool;
+    "lt" (Char, Char) -> Bool;
+    "le" (Char, Char) -> Bool;
+    "gt" (Char, Char) -> Bool;
+    "ge" (Char, Char) -> Bool;
+    "to_int" (Char) -> Int;
+};
+
+/// Operations on `int`. Division and remainder are exceptional
+/// (division by zero), exactly as the paper's example notes.
+pub const INT_OPS: &[PrimOp] = ops! {
+    "add" (Int, Int) -> Int;
+    "sub" (Int, Int) -> Int;
+    "mul" (Int, Int) -> Int;
+    "div" (Int, Int) -> Int x;
+    "rem" (Int, Int) -> Int x;
+    "neg" (Int) -> Int;
+    "and" (Int, Int) -> Int;
+    "or"  (Int, Int) -> Int;
+    "xor" (Int, Int) -> Int;
+    "not" (Int) -> Int;
+    "shl" (Int, Int) -> Int;
+    "shr" (Int, Int) -> Int;
+    "ushr" (Int, Int) -> Int;
+    "eq" (Int, Int) -> Bool;
+    "ne" (Int, Int) -> Bool;
+    "lt" (Int, Int) -> Bool;
+    "le" (Int, Int) -> Bool;
+    "gt" (Int, Int) -> Bool;
+    "ge" (Int, Int) -> Bool;
+    "to_char" (Int) -> Char;
+    "to_long" (Int) -> Long;
+    "to_float" (Int) -> Float;
+    "to_double" (Int) -> Double;
+};
+
+/// Operations on `long`.
+pub const LONG_OPS: &[PrimOp] = ops! {
+    "add" (Long, Long) -> Long;
+    "sub" (Long, Long) -> Long;
+    "mul" (Long, Long) -> Long;
+    "div" (Long, Long) -> Long x;
+    "rem" (Long, Long) -> Long x;
+    "neg" (Long) -> Long;
+    "and" (Long, Long) -> Long;
+    "or"  (Long, Long) -> Long;
+    "xor" (Long, Long) -> Long;
+    "not" (Long) -> Long;
+    "shl" (Long, Int) -> Long;
+    "shr" (Long, Int) -> Long;
+    "ushr" (Long, Int) -> Long;
+    "eq" (Long, Long) -> Bool;
+    "ne" (Long, Long) -> Bool;
+    "lt" (Long, Long) -> Bool;
+    "le" (Long, Long) -> Bool;
+    "gt" (Long, Long) -> Bool;
+    "ge" (Long, Long) -> Bool;
+    "to_int" (Long) -> Int;
+    "to_float" (Long) -> Float;
+    "to_double" (Long) -> Double;
+};
+
+/// Operations on `float`. Floating-point division never traps in Java,
+/// so all operations are plain primitives.
+pub const FLOAT_OPS: &[PrimOp] = ops! {
+    "add" (Float, Float) -> Float;
+    "sub" (Float, Float) -> Float;
+    "mul" (Float, Float) -> Float;
+    "div" (Float, Float) -> Float;
+    "rem" (Float, Float) -> Float;
+    "neg" (Float) -> Float;
+    "eq" (Float, Float) -> Bool;
+    "ne" (Float, Float) -> Bool;
+    "lt" (Float, Float) -> Bool;
+    "le" (Float, Float) -> Bool;
+    "gt" (Float, Float) -> Bool;
+    "ge" (Float, Float) -> Bool;
+    "to_int" (Float) -> Int;
+    "to_long" (Float) -> Long;
+    "to_double" (Float) -> Double;
+};
+
+/// Operations on `double`.
+pub const DOUBLE_OPS: &[PrimOp] = ops! {
+    "add" (Double, Double) -> Double;
+    "sub" (Double, Double) -> Double;
+    "mul" (Double, Double) -> Double;
+    "div" (Double, Double) -> Double;
+    "rem" (Double, Double) -> Double;
+    "neg" (Double) -> Double;
+    "eq" (Double, Double) -> Bool;
+    "ne" (Double, Double) -> Bool;
+    "lt" (Double, Double) -> Bool;
+    "le" (Double, Double) -> Bool;
+    "gt" (Double, Double) -> Bool;
+    "ge" (Double, Double) -> Bool;
+    "to_int" (Double) -> Int;
+    "to_long" (Double) -> Long;
+    "to_float" (Double) -> Float;
+};
+
+/// The operation table for `kind`.
+pub fn ops_of(kind: PrimKind) -> &'static [PrimOp] {
+    match kind {
+        PrimKind::Bool => BOOL_OPS,
+        PrimKind::Char => CHAR_OPS,
+        PrimKind::Int => INT_OPS,
+        PrimKind::Long => LONG_OPS,
+        PrimKind::Float => FLOAT_OPS,
+        PrimKind::Double => DOUBLE_OPS,
+    }
+}
+
+/// Resolves `(kind, op)` to the operation descriptor, checking bounds.
+pub fn resolve(kind: PrimKind, op: PrimOpId) -> Option<&'static PrimOp> {
+    ops_of(kind).get(op.index())
+}
+
+/// Finds an operation of `kind` by name (used by front-ends and tests).
+pub fn find(kind: PrimKind, name: &str) -> Option<PrimOpId> {
+    ops_of(kind)
+        .iter()
+        .position(|o| o.name == name)
+        .map(|i| PrimOpId(i as u16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_div_is_exceptional() {
+        let id = find(PrimKind::Int, "div").unwrap();
+        assert!(resolve(PrimKind::Int, id).unwrap().exceptional);
+        let add = find(PrimKind::Int, "add").unwrap();
+        assert!(!resolve(PrimKind::Int, add).unwrap().exceptional);
+    }
+
+    #[test]
+    fn float_div_is_not_exceptional() {
+        for kind in [PrimKind::Float, PrimKind::Double] {
+            let id = find(kind, "div").unwrap();
+            assert!(!resolve(kind, id).unwrap().exceptional);
+        }
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        for kind in [
+            PrimKind::Int,
+            PrimKind::Long,
+            PrimKind::Float,
+            PrimKind::Double,
+            PrimKind::Char,
+        ] {
+            for name in ["eq", "ne", "lt", "le", "gt", "ge"] {
+                let id = find(kind, name).unwrap();
+                assert_eq!(resolve(kind, id).unwrap().result, PrimKind::Bool);
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_take_int_amounts() {
+        let id = find(PrimKind::Long, "shl").unwrap();
+        let op = resolve(PrimKind::Long, id).unwrap();
+        assert_eq!(op.params, &[PrimKind::Long, PrimKind::Int]);
+    }
+
+    #[test]
+    fn unknown_ops_are_none() {
+        assert!(find(PrimKind::Bool, "add").is_none());
+        assert!(resolve(PrimKind::Bool, PrimOpId(999)).is_none());
+    }
+
+    #[test]
+    fn names_unique_within_table() {
+        for &kind in &PrimKind::ALL {
+            let ops = ops_of(kind);
+            for (i, a) in ops.iter().enumerate() {
+                for b in &ops[i + 1..] {
+                    assert_ne!(a.name, b.name, "duplicate op in {kind:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! The SafeTSA type table and "register plane" universe.
+//!
+//! SafeTSA's *type separation* assigns every type its own register plane
+//! (see §3 of the paper). The type table is the authoritative list of
+//! planes for a module: primitive types, classes (local or imported),
+//! array types, and the derived `safe-ref` / `safe-index` types that are
+//! the cornerstone of the memory-safety construction (§4).
+//!
+//! Most entries in the table (primitives, imported host types) are
+//! generated implicitly by the consumer and are therefore tamper-proof;
+//! only locally declared classes travel with the mobile program.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a type (= register plane) in a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Returns the raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of a class declaration in a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// Returns the raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The built-in primitive types of the machine model.
+///
+/// Primitive *operations* are subordinate to these types (§5): the
+/// instruction set has only the generic `primitive`/`xprimitive`
+/// instructions, parameterized by a type and an operation defined on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrimKind {
+    /// `boolean`: result plane of comparisons, input of control flow.
+    Bool,
+    /// `char`: unsigned 16-bit code unit.
+    Char,
+    /// `int`: signed 32-bit integer.
+    Int,
+    /// `long`: signed 64-bit integer.
+    Long,
+    /// `float`: IEEE-754 binary32.
+    Float,
+    /// `double`: IEEE-754 binary64.
+    Double,
+}
+
+impl PrimKind {
+    /// All primitive kinds, in canonical (encoding) order.
+    pub const ALL: [PrimKind; 6] = [
+        PrimKind::Bool,
+        PrimKind::Char,
+        PrimKind::Int,
+        PrimKind::Long,
+        PrimKind::Float,
+        PrimKind::Double,
+    ];
+
+    /// The Java-facing name of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimKind::Bool => "boolean",
+            PrimKind::Char => "char",
+            PrimKind::Int => "int",
+            PrimKind::Long => "long",
+            PrimKind::Float => "float",
+            PrimKind::Double => "double",
+        }
+    }
+}
+
+impl fmt::Display for PrimKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The structural kind of a type-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// A primitive type.
+    Prim(PrimKind),
+    /// A class reference type (the *unsafe* `ref` plane of §4).
+    Class(ClassId),
+    /// An array-of-`elem` reference type (unsafe plane).
+    Array(TypeId),
+    /// The null-checked companion plane of a class or array type (§4).
+    SafeRef(TypeId),
+    /// The bounds-checked index plane of an array type (§4, Appendix A).
+    ///
+    /// The payload is the *array type* whose plane this serves; the
+    /// binding to a particular array *value* is carried per-value (see
+    /// `safetsa_core::value`).
+    SafeIndex(TypeId),
+}
+
+/// Dispatch kind of a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// Static method: invoked with `xcall`, no receiver.
+    Static,
+    /// Instance method subject to dynamic dispatch: `xdispatch`.
+    Virtual,
+    /// Constructor or other statically-bound instance method: `xcall`.
+    Special,
+}
+
+/// A field declaration inside a class entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldInfo {
+    /// Source-level name (symbolic linking information).
+    pub name: String,
+    /// Declared type of the field.
+    pub ty: TypeId,
+    /// Whether the field is static (accessed via `getstatic`/`setstatic`).
+    pub is_static: bool,
+}
+
+/// A method declaration inside a class entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodInfo {
+    /// Source-level name (constructors use `<init>`).
+    pub name: String,
+    /// Parameter types, excluding the receiver.
+    pub params: Vec<TypeId>,
+    /// Result type; `None` for `void`.
+    pub ret: Option<TypeId>,
+    /// Dispatch kind.
+    pub kind: MethodKind,
+    /// Virtual-dispatch slot, assigned for [`MethodKind::Virtual`] methods.
+    pub vtable_slot: Option<u32>,
+    /// Index of the function body in the module, if the method is local
+    /// (imported/intrinsic methods have none).
+    pub body: Option<u32>,
+}
+
+/// A class declaration (local or imported).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassInfo {
+    /// Fully qualified source name.
+    pub name: String,
+    /// Superclass; `None` only for the root class `Object`.
+    pub superclass: Option<ClassId>,
+    /// Declared fields (not including inherited ones).
+    pub fields: Vec<FieldInfo>,
+    /// Declared methods (not including inherited ones).
+    pub methods: Vec<MethodInfo>,
+    /// `true` for host-environment classes that are generated implicitly
+    /// by the consumer and never transmitted (tamper-proof by §4).
+    pub imported: bool,
+}
+
+/// Symbolic reference to a field: `(declaring class, field index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// The class whose declaration list is indexed.
+    pub class: ClassId,
+    /// Index into that class's `fields`.
+    pub index: u32,
+}
+
+/// Symbolic reference to a method: `(declaring class, method index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MethodRef {
+    /// The class whose declaration list is indexed.
+    pub class: ClassId,
+    /// Index into that class's `methods`.
+    pub index: u32,
+}
+
+/// The module-wide table of types (register planes) and classes.
+///
+/// Construction interns structurally: requesting the same array /
+/// safe-ref / safe-index type twice yields the same [`TypeId`].
+///
+/// # Examples
+///
+/// ```
+/// use safetsa_core::types::{TypeTable, PrimKind};
+///
+/// let mut table = TypeTable::new();
+/// let int = table.prim(PrimKind::Int);
+/// let arr = table.array_of(int);
+/// let safe = table.safe_ref_of(arr);
+/// assert_eq!(table.array_of(int), arr);
+/// assert!(table.is_safe_ref(safe));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    kinds: Vec<TypeKind>,
+    classes: Vec<ClassInfo>,
+    prim_ids: HashMap<PrimKind, TypeId>,
+    class_ids: HashMap<ClassId, TypeId>,
+    array_ids: HashMap<TypeId, TypeId>,
+    safe_ref_ids: HashMap<TypeId, TypeId>,
+    safe_index_ids: HashMap<TypeId, TypeId>,
+}
+
+impl TypeTable {
+    /// Creates a table pre-populated with the six primitive planes.
+    pub fn new() -> Self {
+        let mut t = TypeTable {
+            kinds: Vec::new(),
+            classes: Vec::new(),
+            prim_ids: HashMap::new(),
+            class_ids: HashMap::new(),
+            array_ids: HashMap::new(),
+            safe_ref_ids: HashMap::new(),
+            safe_index_ids: HashMap::new(),
+        };
+        for &p in &PrimKind::ALL {
+            let id = t.push(TypeKind::Prim(p));
+            t.prim_ids.insert(p, id);
+        }
+        t
+    }
+
+    fn push(&mut self, kind: TypeKind) -> TypeId {
+        let id = TypeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Number of type entries (= number of register planes).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the table is empty (never true after [`TypeTable::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind of `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not an entry of this table.
+    pub fn kind(&self, ty: TypeId) -> TypeKind {
+        self.kinds[ty.index()]
+    }
+
+    /// The kind of `ty`, or `None` if out of range (used by the decoder).
+    pub fn kind_checked(&self, ty: TypeId) -> Option<TypeKind> {
+        self.kinds.get(ty.index()).copied()
+    }
+
+    /// The plane of primitive `p`.
+    pub fn prim(&self, p: PrimKind) -> TypeId {
+        self.prim_ids[&p]
+    }
+
+    /// Shorthand for the `boolean` plane.
+    pub fn bool_ty(&self) -> TypeId {
+        self.prim(PrimKind::Bool)
+    }
+
+    /// Shorthand for the `int` plane.
+    pub fn int_ty(&self) -> TypeId {
+        self.prim(PrimKind::Int)
+    }
+
+    /// Declares a new class and returns `(class id, ref-type id)`.
+    ///
+    /// The unsafe `ref` plane is created eagerly; the `safe-ref` plane is
+    /// interned on first use.
+    pub fn declare_class(&mut self, info: ClassInfo) -> (ClassId, TypeId) {
+        let cid = ClassId(self.classes.len() as u32);
+        self.classes.push(info);
+        let ty = self.push(TypeKind::Class(cid));
+        self.class_ids.insert(cid, ty);
+        (cid, ty)
+    }
+
+    /// The `ref` plane of class `c`.
+    pub fn class_ty(&self, c: ClassId) -> TypeId {
+        self.class_ids[&c]
+    }
+
+    /// The class metadata for `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not a class of this table.
+    pub fn class(&self, c: ClassId) -> &ClassInfo {
+        &self.classes[c.index()]
+    }
+
+    /// Mutable class metadata (used while the front-end is populating
+    /// method bodies).
+    pub fn class_mut(&mut self, c: ClassId) -> &mut ClassInfo {
+        &mut self.classes[c.index()]
+    }
+
+    /// The class metadata for `c`, or `None` if out of range.
+    pub fn class_checked(&self, c: ClassId) -> Option<&ClassInfo> {
+        self.classes.get(c.index())
+    }
+
+    /// Number of declared classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterates over `(ClassId, &ClassInfo)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId(i as u32), c))
+    }
+
+    /// Interns the array type with element type `elem`.
+    pub fn array_of(&mut self, elem: TypeId) -> TypeId {
+        if let Some(&id) = self.array_ids.get(&elem) {
+            return id;
+        }
+        let id = self.push(TypeKind::Array(elem));
+        self.array_ids.insert(elem, id);
+        id
+    }
+
+    /// Interns the `safe-ref` companion of reference type `of`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is not a class or array type.
+    pub fn safe_ref_of(&mut self, of: TypeId) -> TypeId {
+        assert!(
+            matches!(self.kind(of), TypeKind::Class(_) | TypeKind::Array(_)),
+            "safe-ref requires a reference type, got {:?}",
+            self.kind(of)
+        );
+        if let Some(&id) = self.safe_ref_ids.get(&of) {
+            return id;
+        }
+        let id = self.push(TypeKind::SafeRef(of));
+        self.safe_ref_ids.insert(of, id);
+        id
+    }
+
+    /// Interns the `safe-index` companion plane of array type `arr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arr` is not an array type.
+    pub fn safe_index_of(&mut self, arr: TypeId) -> TypeId {
+        assert!(
+            matches!(self.kind(arr), TypeKind::Array(_)),
+            "safe-index requires an array type, got {:?}",
+            self.kind(arr)
+        );
+        if let Some(&id) = self.safe_index_ids.get(&arr) {
+            return id;
+        }
+        let id = self.push(TypeKind::SafeIndex(arr));
+        self.safe_index_ids.insert(arr, id);
+        id
+    }
+
+    /// Looks up an already-interned safe-ref plane without creating it.
+    pub fn find_safe_ref(&self, of: TypeId) -> Option<TypeId> {
+        self.safe_ref_ids.get(&of).copied()
+    }
+
+    /// Looks up an already-interned array plane without creating it.
+    pub fn find_array(&self, elem: TypeId) -> Option<TypeId> {
+        self.array_ids.get(&elem).copied()
+    }
+
+    /// Looks up an already-interned safe-index plane without creating it.
+    pub fn find_safe_index(&self, arr: TypeId) -> Option<TypeId> {
+        self.safe_index_ids.get(&arr).copied()
+    }
+
+    /// Whether `ty` is a primitive plane.
+    pub fn is_prim(&self, ty: TypeId) -> bool {
+        matches!(self.kind(ty), TypeKind::Prim(_))
+    }
+
+    /// Whether `ty` is an (unsafe) reference plane — class or array.
+    pub fn is_ref(&self, ty: TypeId) -> bool {
+        matches!(self.kind(ty), TypeKind::Class(_) | TypeKind::Array(_))
+    }
+
+    /// Whether `ty` is a safe-ref plane.
+    pub fn is_safe_ref(&self, ty: TypeId) -> bool {
+        matches!(self.kind(ty), TypeKind::SafeRef(_))
+    }
+
+    /// Whether `ty` is a safe-index plane.
+    pub fn is_safe_index(&self, ty: TypeId) -> bool {
+        matches!(self.kind(ty), TypeKind::SafeIndex(_))
+    }
+
+    /// The unsafe reference type underlying a safe-ref plane.
+    pub fn safe_ref_target(&self, ty: TypeId) -> Option<TypeId> {
+        match self.kind(ty) {
+            TypeKind::SafeRef(of) => Some(of),
+            _ => None,
+        }
+    }
+
+    /// The array type underlying a safe-index plane.
+    pub fn safe_index_array(&self, ty: TypeId) -> Option<TypeId> {
+        match self.kind(ty) {
+            TypeKind::SafeIndex(arr) => Some(arr),
+            _ => None,
+        }
+    }
+
+    /// The element type of an array type.
+    pub fn array_elem(&self, ty: TypeId) -> Option<TypeId> {
+        match self.kind(ty) {
+            TypeKind::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether class `sub` equals `sup` or transitively extends it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.class(c).superclass;
+        }
+        false
+    }
+
+    /// Whether reference type `sub` is assignable to reference type `sup`
+    /// without a dynamic check (Java widening reference conversion over
+    /// our subset: class subtyping; arrays are invariant but any array or
+    /// class widens to the root class).
+    pub fn is_ref_assignable(&self, sub: TypeId, sup: TypeId, root: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        match (self.kind(sub), self.kind(sup)) {
+            (TypeKind::Class(a), TypeKind::Class(b)) => self.is_subclass(a, b),
+            (TypeKind::Array(_), TypeKind::Class(b)) => b == root,
+            _ => false,
+        }
+    }
+
+    /// Resolves a field reference, checking bounds.
+    pub fn field(&self, r: FieldRef) -> Option<&FieldInfo> {
+        self.class_checked(r.class)?.fields.get(r.index as usize)
+    }
+
+    /// Resolves a method reference, checking bounds.
+    pub fn method(&self, r: MethodRef) -> Option<&MethodInfo> {
+        self.class_checked(r.class)?.methods.get(r.index as usize)
+    }
+
+    /// Looks up a field by name along the superclass chain, returning the
+    /// declaring-class reference.
+    pub fn find_field(&self, class: ClassId, name: &str) -> Option<FieldRef> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            let info = self.class(c);
+            if let Some(i) = info.fields.iter().position(|f| f.name == name) {
+                return Some(FieldRef {
+                    class: c,
+                    index: i as u32,
+                });
+            }
+            cur = info.superclass;
+        }
+        None
+    }
+
+    /// A human-readable name for a type (used by the pretty printers).
+    pub fn type_name(&self, ty: TypeId) -> String {
+        match self.kind(ty) {
+            TypeKind::Prim(p) => p.name().to_string(),
+            TypeKind::Class(c) => self.class(c).name.clone(),
+            TypeKind::Array(e) => format!("{}[]", self.type_name(e)),
+            TypeKind::SafeRef(of) => format!("safe-{}", self.type_name(of)),
+            TypeKind::SafeIndex(arr) => format!("safe-index-{}", self.type_name(arr)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn object_class(t: &mut TypeTable) -> (ClassId, TypeId) {
+        t.declare_class(ClassInfo {
+            name: "Object".into(),
+            superclass: None,
+            fields: vec![],
+            methods: vec![],
+            imported: true,
+        })
+    }
+
+    #[test]
+    fn primitives_preinterned() {
+        let t = TypeTable::new();
+        assert_eq!(t.len(), 6);
+        for &p in &PrimKind::ALL {
+            assert_eq!(t.kind(t.prim(p)), TypeKind::Prim(p));
+        }
+    }
+
+    #[test]
+    fn array_interning_is_idempotent() {
+        let mut t = TypeTable::new();
+        let int = t.prim(PrimKind::Int);
+        let a1 = t.array_of(int);
+        let a2 = t.array_of(int);
+        assert_eq!(a1, a2);
+        assert_eq!(t.array_elem(a1), Some(int));
+    }
+
+    #[test]
+    fn nested_arrays_are_distinct() {
+        let mut t = TypeTable::new();
+        let int = t.prim(PrimKind::Int);
+        let a = t.array_of(int);
+        let aa = t.array_of(a);
+        assert_ne!(a, aa);
+        assert_eq!(t.array_elem(aa), Some(a));
+    }
+
+    #[test]
+    fn safe_ref_round_trip() {
+        let mut t = TypeTable::new();
+        let (_, obj_ty) = object_class(&mut t);
+        let s = t.safe_ref_of(obj_ty);
+        assert!(t.is_safe_ref(s));
+        assert_eq!(t.safe_ref_target(s), Some(obj_ty));
+        assert_eq!(t.find_safe_ref(obj_ty), Some(s));
+    }
+
+    #[test]
+    fn safe_index_round_trip() {
+        let mut t = TypeTable::new();
+        let int = t.prim(PrimKind::Int);
+        let arr = t.array_of(int);
+        let si = t.safe_index_of(arr);
+        assert!(t.is_safe_index(si));
+        assert_eq!(t.safe_index_array(si), Some(arr));
+    }
+
+    #[test]
+    #[should_panic(expected = "safe-ref requires a reference type")]
+    fn safe_ref_of_prim_panics() {
+        let mut t = TypeTable::new();
+        let int = t.prim(PrimKind::Int);
+        t.safe_ref_of(int);
+    }
+
+    #[test]
+    fn subclass_chain() {
+        let mut t = TypeTable::new();
+        let (obj, _) = object_class(&mut t);
+        let (a, _) = t.declare_class(ClassInfo {
+            name: "A".into(),
+            superclass: Some(obj),
+            fields: vec![],
+            methods: vec![],
+            imported: false,
+        });
+        let (b, _) = t.declare_class(ClassInfo {
+            name: "B".into(),
+            superclass: Some(a),
+            fields: vec![],
+            methods: vec![],
+            imported: false,
+        });
+        assert!(t.is_subclass(b, obj));
+        assert!(t.is_subclass(b, a));
+        assert!(t.is_subclass(a, obj));
+        assert!(!t.is_subclass(a, b));
+    }
+
+    #[test]
+    fn field_lookup_follows_superclass() {
+        let mut t = TypeTable::new();
+        let (obj, _) = object_class(&mut t);
+        let int = t.prim(PrimKind::Int);
+        let (a, _) = t.declare_class(ClassInfo {
+            name: "A".into(),
+            superclass: Some(obj),
+            fields: vec![FieldInfo {
+                name: "x".into(),
+                ty: int,
+                is_static: false,
+            }],
+            methods: vec![],
+            imported: false,
+        });
+        let (b, _) = t.declare_class(ClassInfo {
+            name: "B".into(),
+            superclass: Some(a),
+            fields: vec![],
+            methods: vec![],
+            imported: false,
+        });
+        let r = t.find_field(b, "x").expect("field found");
+        assert_eq!(r.class, a);
+        assert_eq!(t.field(r).unwrap().name, "x");
+        assert!(t.find_field(b, "y").is_none());
+    }
+
+    #[test]
+    fn ref_assignability() {
+        let mut t = TypeTable::new();
+        let (obj, obj_ty) = object_class(&mut t);
+        let (a, a_ty) = t.declare_class(ClassInfo {
+            name: "A".into(),
+            superclass: Some(obj),
+            fields: vec![],
+            methods: vec![],
+            imported: false,
+        });
+        let _ = a;
+        let int = t.prim(PrimKind::Int);
+        let arr = t.array_of(int);
+        assert!(t.is_ref_assignable(a_ty, obj_ty, obj));
+        assert!(!t.is_ref_assignable(obj_ty, a_ty, obj));
+        assert!(t.is_ref_assignable(arr, obj_ty, obj));
+        assert!(!t.is_ref_assignable(obj_ty, arr, obj));
+    }
+
+    #[test]
+    fn type_names() {
+        let mut t = TypeTable::new();
+        let int = t.prim(PrimKind::Int);
+        let arr = t.array_of(int);
+        let sr = t.safe_ref_of(arr);
+        let si = t.safe_index_of(arr);
+        assert_eq!(t.type_name(arr), "int[]");
+        assert_eq!(t.type_name(sr), "safe-int[]");
+        assert_eq!(t.type_name(si), "safe-index-int[]");
+    }
+}

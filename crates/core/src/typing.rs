@@ -1,0 +1,794 @@
+//! The typing rules of the SafeTSA instruction set.
+//!
+//! These rules are shared by the function builder (to compute implicit
+//! result planes) and by the verifier (to re-check decoded programs).
+//! They implement the "type separation" discipline of §3–§4: every
+//! operand's plane is dictated by the opcode and its type parameters,
+//! memory operations only accept `safe` operands, and `downcast` is
+//! restricted to statically safe coercions.
+
+use crate::instr::Instr;
+use crate::primops;
+use crate::types::{MethodKind, TypeId, TypeKind, TypeTable};
+use crate::value::ValueId;
+use std::fmt;
+
+/// A typing violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// An operand was on the wrong plane.
+    PlaneMismatch {
+        /// What the instruction is.
+        what: &'static str,
+        /// Plane required by the rule.
+        expected: TypeId,
+        /// Plane the operand actually lives on.
+        found: TypeId,
+    },
+    /// A type parameter had the wrong kind (e.g. `nullcheck` on `int`).
+    BadTypeKind {
+        /// What the instruction is.
+        what: &'static str,
+        /// Offending type.
+        ty: TypeId,
+    },
+    /// A symbolic member reference did not resolve.
+    BadMember(&'static str),
+    /// Wrong number of operands for the operation or method.
+    ArityMismatch {
+        /// What the instruction is.
+        what: &'static str,
+        /// Expected arity.
+        expected: usize,
+        /// Actual arity.
+        found: usize,
+    },
+    /// `primitive` used with an exceptional operation, or `xprimitive`
+    /// with a non-exceptional one.
+    ExceptionalityMismatch {
+        /// Name of the operation.
+        op: &'static str,
+        /// Whether the operation itself is exceptional.
+        op_exceptional: bool,
+    },
+    /// A `downcast` that is not statically safe.
+    UnsafeDowncast {
+        /// Source plane.
+        from: TypeId,
+        /// Target plane.
+        to: TypeId,
+    },
+    /// A required derived plane (safe-ref/safe-index) was never interned
+    /// in the type table.
+    MissingPlane(&'static str, TypeId),
+    /// A `getelt`/`setelt` whose index is not bound to its array value.
+    ProvenanceMismatch {
+        /// The array operand.
+        array: ValueId,
+        /// The provenance recorded on the index value.
+        index_provenance: Option<ValueId>,
+    },
+    /// A primitive operation id out of range for its base type.
+    UnknownPrimOp,
+    /// `xdispatch` on a non-virtual method, or receiver rules violated.
+    DispatchKind(&'static str),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::PlaneMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{what}: operand on plane {found} but rule requires {expected}"
+            ),
+            TypeError::BadTypeKind { what, ty } => {
+                write!(f, "{what}: type parameter {ty} has the wrong kind")
+            }
+            TypeError::BadMember(what) => write!(f, "{what}: unresolved member reference"),
+            TypeError::ArityMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what}: expected {expected} operands, found {found}"),
+            TypeError::ExceptionalityMismatch { op, op_exceptional } => {
+                if *op_exceptional {
+                    write!(f, "operation {op} is exceptional and requires xprimitive")
+                } else {
+                    write!(f, "operation {op} is not exceptional; use primitive")
+                }
+            }
+            TypeError::UnsafeDowncast { from, to } => {
+                write!(f, "downcast from {from} to {to} is not statically safe")
+            }
+            TypeError::MissingPlane(what, ty) => {
+                write!(f, "{what}: derived plane of {ty} not in type table")
+            }
+            TypeError::ProvenanceMismatch {
+                array,
+                index_provenance,
+            } => write!(
+                f,
+                "element access on array {array} with index bound to {index_provenance:?}"
+            ),
+            TypeError::UnknownPrimOp => write!(f, "unknown primitive operation"),
+            TypeError::DispatchKind(what) => write!(f, "invocation kind violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// The outcome of typing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Typed {
+    /// Result plane, or `None` for result-less instructions.
+    pub result: Option<TypeId>,
+    /// For safe-index results: the array value the index is bound to.
+    pub provenance: Option<ValueId>,
+}
+
+/// Access to operand metadata, abstracting over `Function` so the
+/// decoder can type-check incrementally.
+pub trait ValueCtx {
+    /// Plane of `v`.
+    fn value_ty(&self, v: ValueId) -> TypeId;
+    /// Safe-index provenance of `v`, if any.
+    fn value_provenance(&self, v: ValueId) -> Option<ValueId>;
+}
+
+fn expect_plane(
+    what: &'static str,
+    ctx: &impl ValueCtx,
+    v: ValueId,
+    expected: TypeId,
+) -> Result<(), TypeError> {
+    let found = ctx.value_ty(v);
+    if found == expected {
+        Ok(())
+    } else {
+        Err(TypeError::PlaneMismatch {
+            what,
+            expected,
+            found,
+        })
+    }
+}
+
+/// Whether `downcast from → to` is statically safe (§4): forgetting a
+/// null-check (`safe-ref T → T`), widening to a superclass on either
+/// the `ref` or the `safe-ref` plane, or widening an array reference to
+/// the root class.
+pub fn downcast_is_safe(types: &TypeTable, from: TypeId, to: TypeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let widens = |a: TypeId, b: TypeId| -> bool {
+        match (types.kind(a), types.kind(b)) {
+            (TypeKind::Class(x), TypeKind::Class(y)) => types.is_subclass(x, y),
+            (TypeKind::Array(_), TypeKind::Class(y)) => {
+                // arrays widen to the root class only
+                types.class(y).superclass.is_none()
+            }
+            _ => false,
+        }
+    };
+    match (types.kind(from), types.kind(to)) {
+        // safe-ref T → T (forget the null check)
+        (TypeKind::SafeRef(of), _) if of == to => true,
+        // safe-ref A → safe-ref B where A widens to B
+        (TypeKind::SafeRef(a), TypeKind::SafeRef(b)) => widens(a, b),
+        // safe-ref A → B where A widens to B (forget + widen)
+        (TypeKind::SafeRef(a), _) if widens(a, to) => true,
+        // A → B where A widens to B
+        _ => widens(from, to),
+    }
+}
+
+/// Types `instr`, returning its result plane (and provenance), or a
+/// [`TypeError`] describing the violation.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if any operand is on the wrong plane, a
+/// member reference fails to resolve, an arity is wrong, a `downcast`
+/// is not statically safe, or element access violates safe-index
+/// provenance.
+pub fn type_instr(
+    types: &TypeTable,
+    ctx: &impl ValueCtx,
+    instr: &Instr,
+) -> Result<Typed, TypeError> {
+    let ok = |result: Option<TypeId>| {
+        Ok(Typed {
+            result,
+            provenance: None,
+        })
+    };
+    match instr {
+        Instr::Primitive { ty, op, args } | Instr::XPrimitive { ty, op, args } => {
+            let kind = match types.kind(*ty) {
+                TypeKind::Prim(k) => k,
+                _ => {
+                    return Err(TypeError::BadTypeKind {
+                        what: "primitive",
+                        ty: *ty,
+                    })
+                }
+            };
+            let desc = primops::resolve(kind, *op).ok_or(TypeError::UnknownPrimOp)?;
+            let wants_x = matches!(instr, Instr::XPrimitive { .. });
+            if desc.exceptional != wants_x {
+                return Err(TypeError::ExceptionalityMismatch {
+                    op: desc.name,
+                    op_exceptional: desc.exceptional,
+                });
+            }
+            if args.len() != desc.params.len() {
+                return Err(TypeError::ArityMismatch {
+                    what: "primitive",
+                    expected: desc.params.len(),
+                    found: args.len(),
+                });
+            }
+            for (a, p) in args.iter().zip(desc.params) {
+                expect_plane("primitive", ctx, *a, types.prim(*p))?;
+            }
+            ok(Some(types.prim(desc.result)))
+        }
+        Instr::NullCheck { ty, value } => {
+            if !types.is_ref(*ty) {
+                return Err(TypeError::BadTypeKind {
+                    what: "nullcheck",
+                    ty: *ty,
+                });
+            }
+            expect_plane("nullcheck", ctx, *value, *ty)?;
+            let safe = types
+                .find_safe_ref(*ty)
+                .ok_or(TypeError::MissingPlane("nullcheck", *ty))?;
+            ok(Some(safe))
+        }
+        Instr::IndexCheck {
+            arr_ty,
+            array,
+            index,
+        } => {
+            if !matches!(types.kind(*arr_ty), TypeKind::Array(_)) {
+                return Err(TypeError::BadTypeKind {
+                    what: "indexcheck",
+                    ty: *arr_ty,
+                });
+            }
+            let safe_arr = types
+                .find_safe_ref(*arr_ty)
+                .ok_or(TypeError::MissingPlane("indexcheck", *arr_ty))?;
+            expect_plane("indexcheck", ctx, *array, safe_arr)?;
+            expect_plane("indexcheck", ctx, *index, types.int_ty())?;
+            let si = types
+                .find_safe_index(*arr_ty)
+                .ok_or(TypeError::MissingPlane("indexcheck", *arr_ty))?;
+            Ok(Typed {
+                result: Some(si),
+                provenance: Some(*array),
+            })
+        }
+        Instr::Upcast { from, to, value } => {
+            if !types.is_ref(*from) {
+                return Err(TypeError::BadTypeKind {
+                    what: "upcast",
+                    ty: *from,
+                });
+            }
+            if !types.is_ref(*to) {
+                return Err(TypeError::BadTypeKind {
+                    what: "upcast",
+                    ty: *to,
+                });
+            }
+            expect_plane("upcast", ctx, *value, *from)?;
+            ok(Some(*to))
+        }
+        Instr::Downcast { from, to, value } => {
+            expect_plane("downcast", ctx, *value, *from)?;
+            if !downcast_is_safe(types, *from, *to) {
+                return Err(TypeError::UnsafeDowncast {
+                    from: *from,
+                    to: *to,
+                });
+            }
+            ok(Some(*to))
+        }
+        Instr::GetField { ty, object, field } => {
+            let class = match types.kind(*ty) {
+                TypeKind::Class(c) => c,
+                _ => {
+                    return Err(TypeError::BadTypeKind {
+                        what: "getfield",
+                        ty: *ty,
+                    })
+                }
+            };
+            let info = types
+                .field(*field)
+                .ok_or(TypeError::BadMember("getfield"))?;
+            if info.is_static || !types.is_subclass(class, field.class) {
+                return Err(TypeError::BadMember("getfield"));
+            }
+            let safe = types
+                .find_safe_ref(*ty)
+                .ok_or(TypeError::MissingPlane("getfield", *ty))?;
+            expect_plane("getfield", ctx, *object, safe)?;
+            ok(Some(info.ty))
+        }
+        Instr::SetField {
+            ty,
+            object,
+            field,
+            value,
+        } => {
+            let class = match types.kind(*ty) {
+                TypeKind::Class(c) => c,
+                _ => {
+                    return Err(TypeError::BadTypeKind {
+                        what: "setfield",
+                        ty: *ty,
+                    })
+                }
+            };
+            let info = types
+                .field(*field)
+                .ok_or(TypeError::BadMember("setfield"))?;
+            if info.is_static || !types.is_subclass(class, field.class) {
+                return Err(TypeError::BadMember("setfield"));
+            }
+            let safe = types
+                .find_safe_ref(*ty)
+                .ok_or(TypeError::MissingPlane("setfield", *ty))?;
+            expect_plane("setfield", ctx, *object, safe)?;
+            expect_plane("setfield", ctx, *value, info.ty)?;
+            ok(None)
+        }
+        Instr::GetStatic { field } => {
+            let info = types
+                .field(*field)
+                .ok_or(TypeError::BadMember("getstatic"))?;
+            if !info.is_static {
+                return Err(TypeError::BadMember("getstatic"));
+            }
+            ok(Some(info.ty))
+        }
+        Instr::SetStatic { field, value } => {
+            let info = types
+                .field(*field)
+                .ok_or(TypeError::BadMember("setstatic"))?;
+            if !info.is_static {
+                return Err(TypeError::BadMember("setstatic"));
+            }
+            expect_plane("setstatic", ctx, *value, info.ty)?;
+            ok(None)
+        }
+        Instr::GetElt {
+            arr_ty,
+            array,
+            index,
+        }
+        | Instr::SetElt {
+            arr_ty,
+            array,
+            index,
+            ..
+        } => {
+            let elem = types.array_elem(*arr_ty).ok_or(TypeError::BadTypeKind {
+                what: "getelt/setelt",
+                ty: *arr_ty,
+            })?;
+            let safe = types
+                .find_safe_ref(*arr_ty)
+                .ok_or(TypeError::MissingPlane("getelt/setelt", *arr_ty))?;
+            expect_plane("getelt/setelt", ctx, *array, safe)?;
+            let si = types
+                .find_safe_index(*arr_ty)
+                .ok_or(TypeError::MissingPlane("getelt/setelt", *arr_ty))?;
+            expect_plane("getelt/setelt", ctx, *index, si)?;
+            // Appendix A: safe-index values are bound to array values.
+            if ctx.value_provenance(*index) != Some(*array) {
+                return Err(TypeError::ProvenanceMismatch {
+                    array: *array,
+                    index_provenance: ctx.value_provenance(*index),
+                });
+            }
+            match instr {
+                Instr::GetElt { .. } => ok(Some(elem)),
+                Instr::SetElt { value, .. } => {
+                    expect_plane("setelt", ctx, *value, elem)?;
+                    ok(None)
+                }
+                _ => unreachable!(),
+            }
+        }
+        Instr::ArrayLength { arr_ty, array } => {
+            if !matches!(types.kind(*arr_ty), TypeKind::Array(_)) {
+                return Err(TypeError::BadTypeKind {
+                    what: "arraylength",
+                    ty: *arr_ty,
+                });
+            }
+            let safe = types
+                .find_safe_ref(*arr_ty)
+                .ok_or(TypeError::MissingPlane("arraylength", *arr_ty))?;
+            expect_plane("arraylength", ctx, *array, safe)?;
+            ok(Some(types.int_ty()))
+        }
+        Instr::New { class_ty } => {
+            if !matches!(types.kind(*class_ty), TypeKind::Class(_)) {
+                return Err(TypeError::BadTypeKind {
+                    what: "new",
+                    ty: *class_ty,
+                });
+            }
+            // Allocation never yields null, so the result lands directly
+            // on the safe-ref plane (no spurious null check needed).
+            let safe = types
+                .find_safe_ref(*class_ty)
+                .ok_or(TypeError::MissingPlane("new", *class_ty))?;
+            ok(Some(safe))
+        }
+        Instr::NewArray { arr_ty, length } => {
+            if !matches!(types.kind(*arr_ty), TypeKind::Array(_)) {
+                return Err(TypeError::BadTypeKind {
+                    what: "newarray",
+                    ty: *arr_ty,
+                });
+            }
+            expect_plane("newarray", ctx, *length, types.int_ty())?;
+            let safe = types
+                .find_safe_ref(*arr_ty)
+                .ok_or(TypeError::MissingPlane("newarray", *arr_ty))?;
+            ok(Some(safe))
+        }
+        Instr::XCall {
+            base_ty,
+            method,
+            receiver,
+            args,
+        } => {
+            let info = types.method(*method).ok_or(TypeError::BadMember("xcall"))?;
+            match (info.kind, receiver) {
+                (MethodKind::Static, Some(_)) => {
+                    return Err(TypeError::DispatchKind("static method with receiver"))
+                }
+                (MethodKind::Static, None) => {}
+                (_, None) => {
+                    return Err(TypeError::DispatchKind("instance method without receiver"))
+                }
+                (_, Some(r)) => {
+                    let class = match types.kind(*base_ty) {
+                        TypeKind::Class(c) => c,
+                        _ => {
+                            return Err(TypeError::BadTypeKind {
+                                what: "xcall",
+                                ty: *base_ty,
+                            })
+                        }
+                    };
+                    if !types.is_subclass(class, method.class) {
+                        return Err(TypeError::BadMember("xcall"));
+                    }
+                    let safe = types
+                        .find_safe_ref(*base_ty)
+                        .ok_or(TypeError::MissingPlane("xcall", *base_ty))?;
+                    expect_plane("xcall", ctx, *r, safe)?;
+                }
+            }
+            if args.len() != info.params.len() {
+                return Err(TypeError::ArityMismatch {
+                    what: "xcall",
+                    expected: info.params.len(),
+                    found: args.len(),
+                });
+            }
+            for (a, p) in args.iter().zip(&info.params) {
+                expect_plane("xcall", ctx, *a, *p)?;
+            }
+            ok(info.ret)
+        }
+        Instr::XDispatch {
+            base_ty,
+            method,
+            receiver,
+            args,
+        } => {
+            let info = types
+                .method(*method)
+                .ok_or(TypeError::BadMember("xdispatch"))?;
+            if info.kind != MethodKind::Virtual {
+                return Err(TypeError::DispatchKind("xdispatch on non-virtual method"));
+            }
+            let class = match types.kind(*base_ty) {
+                TypeKind::Class(c) => c,
+                _ => {
+                    return Err(TypeError::BadTypeKind {
+                        what: "xdispatch",
+                        ty: *base_ty,
+                    })
+                }
+            };
+            if !types.is_subclass(class, method.class) {
+                return Err(TypeError::BadMember("xdispatch"));
+            }
+            let safe = types
+                .find_safe_ref(*base_ty)
+                .ok_or(TypeError::MissingPlane("xdispatch", *base_ty))?;
+            expect_plane("xdispatch", ctx, *receiver, safe)?;
+            if args.len() != info.params.len() {
+                return Err(TypeError::ArityMismatch {
+                    what: "xdispatch",
+                    expected: info.params.len(),
+                    found: args.len(),
+                });
+            }
+            for (a, p) in args.iter().zip(&info.params) {
+                expect_plane("xdispatch", ctx, *a, *p)?;
+            }
+            ok(info.ret)
+        }
+        Instr::RefEq { ty, a, b } => {
+            let plane_ok = types.is_ref(*ty) || types.is_safe_ref(*ty);
+            if !plane_ok {
+                return Err(TypeError::BadTypeKind {
+                    what: "refeq",
+                    ty: *ty,
+                });
+            }
+            expect_plane("refeq", ctx, *a, *ty)?;
+            expect_plane("refeq", ctx, *b, *ty)?;
+            ok(Some(types.bool_ty()))
+        }
+        Instr::InstanceOf {
+            from,
+            target,
+            value,
+        } => {
+            let from_ok = types.is_ref(*from) || types.is_safe_ref(*from);
+            if !from_ok {
+                return Err(TypeError::BadTypeKind {
+                    what: "instanceof",
+                    ty: *from,
+                });
+            }
+            if !types.is_ref(*target) {
+                return Err(TypeError::BadTypeKind {
+                    what: "instanceof",
+                    ty: *target,
+                });
+            }
+            expect_plane("instanceof", ctx, *value, *from)?;
+            ok(Some(types.bool_ty()))
+        }
+        Instr::Catch { ty } => {
+            if !matches!(types.kind(*ty), TypeKind::Class(_)) {
+                return Err(TypeError::BadTypeKind {
+                    what: "catch",
+                    ty: *ty,
+                });
+            }
+            ok(Some(*ty))
+        }
+    }
+}
+
+/// The planes the type table must contain before `instr` can be typed;
+/// the builder interns these eagerly.
+pub fn intern_planes(types: &mut TypeTable, instr: &Instr) {
+    match instr {
+        Instr::NullCheck { ty, .. } => {
+            types.safe_ref_of(*ty);
+        }
+        Instr::IndexCheck { arr_ty, .. }
+        | Instr::GetElt { arr_ty, .. }
+        | Instr::SetElt { arr_ty, .. } => {
+            types.safe_ref_of(*arr_ty);
+            types.safe_index_of(*arr_ty);
+        }
+        Instr::ArrayLength { arr_ty, .. } => {
+            types.safe_ref_of(*arr_ty);
+        }
+        Instr::GetField { ty, .. } | Instr::SetField { ty, .. } => {
+            types.safe_ref_of(*ty);
+        }
+        Instr::New { class_ty } => {
+            types.safe_ref_of(*class_ty);
+        }
+        Instr::NewArray { arr_ty, .. } => {
+            types.safe_ref_of(*arr_ty);
+        }
+        Instr::XCall {
+            base_ty,
+            receiver: Some(_),
+            ..
+        } => {
+            types.safe_ref_of(*base_ty);
+        }
+        Instr::XDispatch { base_ty, .. } => {
+            types.safe_ref_of(*base_ty);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClassInfo, PrimKind};
+
+    fn hierarchy() -> (TypeTable, TypeId, TypeId, TypeId, TypeId) {
+        let mut t = TypeTable::new();
+        let (obj, obj_ty) = t.declare_class(ClassInfo {
+            name: "Object".into(),
+            superclass: None,
+            fields: vec![],
+            methods: vec![],
+            imported: true,
+        });
+        let (a, a_ty) = t.declare_class(ClassInfo {
+            name: "A".into(),
+            superclass: Some(obj),
+            fields: vec![],
+            methods: vec![],
+            imported: false,
+        });
+        let (_b, b_ty) = t.declare_class(ClassInfo {
+            name: "B".into(),
+            superclass: Some(a),
+            fields: vec![],
+            methods: vec![],
+            imported: false,
+        });
+        let int = t.prim(PrimKind::Int);
+        let arr = t.array_of(int);
+        (t, obj_ty, a_ty, b_ty, arr)
+    }
+
+    #[test]
+    fn downcast_safety_matrix() {
+        let (mut t, obj_ty, a_ty, b_ty, arr) = hierarchy();
+        let sa = t.safe_ref_of(a_ty);
+        let sb = t.safe_ref_of(b_ty);
+        let sobj = t.safe_ref_of(obj_ty);
+        // Reflexive.
+        assert!(downcast_is_safe(&t, a_ty, a_ty));
+        // safe-ref T → T (forget the null check).
+        assert!(downcast_is_safe(&t, sa, a_ty));
+        // Widening on the ref plane.
+        assert!(downcast_is_safe(&t, b_ty, a_ty));
+        assert!(downcast_is_safe(&t, b_ty, obj_ty));
+        // Widening on the safe-ref plane.
+        assert!(downcast_is_safe(&t, sb, sa));
+        assert!(downcast_is_safe(&t, sb, sobj));
+        // Forget + widen in one step.
+        assert!(downcast_is_safe(&t, sb, a_ty));
+        // Arrays widen to the root class only.
+        assert!(downcast_is_safe(&t, arr, obj_ty));
+        assert!(!downcast_is_safe(&t, arr, a_ty));
+        // NARROWING is never a safe downcast.
+        assert!(!downcast_is_safe(&t, a_ty, b_ty));
+        assert!(!downcast_is_safe(&t, obj_ty, a_ty));
+        assert!(!downcast_is_safe(&t, sa, sb));
+        // ref → safe-ref would forge a null check.
+        assert!(!downcast_is_safe(&t, a_ty, sa));
+        // primitive cross-plane is nonsense.
+        let int = t.prim(PrimKind::Int);
+        let long = t.prim(PrimKind::Long);
+        assert!(!downcast_is_safe(&t, int, long));
+        assert!(!downcast_is_safe(&t, int, a_ty));
+    }
+
+    struct Vals(Vec<(TypeId, Option<ValueId>)>);
+    impl ValueCtx for Vals {
+        fn value_ty(&self, v: ValueId) -> TypeId {
+            self.0[v.index()].0
+        }
+        fn value_provenance(&self, v: ValueId) -> Option<ValueId> {
+            self.0[v.index()].1
+        }
+    }
+
+    #[test]
+    fn forged_downcast_rejected() {
+        let (t, obj_ty, a_ty, _, _) = hierarchy();
+        let ctx = Vals(vec![(obj_ty, None)]);
+        let err = type_instr(
+            &t,
+            &ctx,
+            &Instr::Downcast {
+                from: obj_ty,
+                to: a_ty,
+                value: ValueId(0),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::UnsafeDowncast { .. }));
+    }
+
+    #[test]
+    fn xdispatch_requires_virtual() {
+        let (mut t, _, a_ty, _, _) = hierarchy();
+        use crate::types::{MethodInfo, MethodKind, MethodRef};
+        let a = match t.kind(a_ty) {
+            crate::types::TypeKind::Class(c) => c,
+            _ => unreachable!(),
+        };
+        t.class_mut(a).methods.push(MethodInfo {
+            name: "s".into(),
+            params: vec![],
+            ret: None,
+            kind: MethodKind::Static,
+            vtable_slot: None,
+            body: None,
+        });
+        let sa = t.safe_ref_of(a_ty);
+        let ctx = Vals(vec![(sa, None)]);
+        let err = type_instr(
+            &t,
+            &ctx,
+            &Instr::XDispatch {
+                base_ty: a_ty,
+                method: MethodRef { class: a, index: 0 },
+                receiver: ValueId(0),
+                args: vec![],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::DispatchKind(_)));
+    }
+
+    #[test]
+    fn memory_ops_reject_unsafe_operands() {
+        let (mut t, _, a_ty, _, arr) = hierarchy();
+        use crate::types::{FieldInfo, FieldRef};
+        let a = match t.kind(a_ty) {
+            crate::types::TypeKind::Class(c) => c,
+            _ => unreachable!(),
+        };
+        let int = t.prim(PrimKind::Int);
+        t.class_mut(a).fields.push(FieldInfo {
+            name: "x".into(),
+            ty: int,
+            is_static: false,
+        });
+        t.safe_ref_of(a_ty);
+        // getfield with an UNSAFE ref operand must be rejected.
+        let ctx = Vals(vec![(a_ty, None)]);
+        let err = type_instr(
+            &t,
+            &ctx,
+            &Instr::GetField {
+                ty: a_ty,
+                object: ValueId(0),
+                field: FieldRef { class: a, index: 0 },
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::PlaneMismatch { .. }));
+        // getelt with a plain int as index must be rejected.
+        t.safe_ref_of(arr);
+        t.safe_index_of(arr);
+        let sarr = t.find_safe_ref(arr).unwrap();
+        let ctx = Vals(vec![(sarr, None), (int, None)]);
+        let err = type_instr(
+            &t,
+            &ctx,
+            &Instr::GetElt {
+                arr_ty: arr,
+                array: ValueId(0),
+                index: ValueId(1),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TypeError::PlaneMismatch { .. }));
+    }
+}

@@ -1,0 +1,58 @@
+//! # safetsa-frontend
+//!
+//! A from-scratch front-end for the Java subset used by the SafeTSA
+//! reproduction (the paper compiled Java sources with a Pizza-derived
+//! front-end; see DESIGN.md for the substitution rationale).
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`sema`] → typed [`hir`], which
+//! both the SafeTSA producer (`safetsa-ssa`) and the Java-bytecode
+//! baseline (`safetsa-baseline`) consume.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "class Hello { static int twice(int x) { return x * 2; } }";
+//! let program = safetsa_frontend::compile(src)?;
+//! let hello = program.find_class("Hello").unwrap();
+//! assert_eq!(program.class(hello).methods[0].name, "twice");
+//! # Ok::<(), safetsa_frontend::span::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod span;
+pub mod token;
+
+use span::CompileError;
+
+/// Compiles Java-subset source text into a resolved [`hir::Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn compile(src: &str) -> Result<hir::Program, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let cu = parser::parse(tokens)?;
+    sema::analyze(&cu)
+}
+
+/// Compiles several source files as one program (shared class space).
+///
+/// # Errors
+///
+/// Returns the first error, without attributing the file.
+pub fn compile_many(srcs: &[&str]) -> Result<hir::Program, CompileError> {
+    let mut classes = Vec::new();
+    for src in srcs {
+        let tokens = lexer::lex(src)?;
+        let cu = parser::parse(tokens)?;
+        classes.extend(cu.classes);
+    }
+    sema::analyze(&ast::CompilationUnit { classes })
+}

@@ -1,0 +1,101 @@
+//! Source positions and diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range in a source file, with line/column of its
+/// start for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start,
+            end: other.end.max(self.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        CompileError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join() {
+        let a = Span {
+            start: 0,
+            end: 3,
+            line: 1,
+            col: 1,
+        };
+        let b = Span {
+            start: 5,
+            end: 9,
+            line: 1,
+            col: 6,
+        };
+        let j = a.to(b);
+        assert_eq!(j.start, 0);
+        assert_eq!(j.end, 9);
+        assert_eq!(j.line, 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CompileError::new(
+            Span {
+                start: 0,
+                end: 1,
+                line: 3,
+                col: 7,
+            },
+            "unexpected token",
+        );
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+}

@@ -1,0 +1,74 @@
+//! Robustness property tests: the lexer, parser, and sema must return
+//! errors (never panic) on arbitrary input.
+
+use proptest::prelude::*;
+use safetsa_frontend::{compile, lexer, parser};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC*") {
+        let _ = lexer::lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "\\PC*") {
+        if let Ok(toks) = lexer::lex(&src) {
+            let _ = parser::parse(toks);
+        }
+    }
+
+    #[test]
+    fn compile_never_panics_on_java_ish_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("class"), Just("int"), Just("if"), Just("else"),
+                Just("while"), Just("return"), Just("{"), Just("}"),
+                Just("("), Just(")"), Just(";"), Just("="), Just("+"),
+                Just("x"), Just("y"), Just("A"), Just("B"), Just("0"),
+                Just("1"), Just("new"), Just("static"), Just("try"),
+                Just("catch"), Just("void"), Just("["), Just("]"),
+                Just("."), Just(","), Just("for"), Just("break"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = compile(&src);
+    }
+}
+
+#[test]
+fn pathological_nesting_is_handled() {
+    // Moderate nesting compiles; adversarial depth is rejected with a
+    // clean error instead of exhausting the stack.
+    let nest = |n: usize| {
+        let mut src = String::from("class A { static int f(int x) { return ");
+        for _ in 0..n {
+            src.push('(');
+        }
+        src.push('x');
+        for _ in 0..n {
+            src.push(')');
+        }
+        src.push_str("; } }");
+        src
+    };
+    compile(&nest(40)).expect("40-deep parens compile");
+    let err = compile(&nest(100_000)).unwrap_err();
+    assert!(err.message.contains("nesting"), "{err}");
+}
+
+#[test]
+fn deeply_nested_blocks() {
+    let mut src = String::from("class A { static int f() { int x = 0; ");
+    for _ in 0..40 {
+        src.push_str("{ x = x + 1; ");
+    }
+    for _ in 0..40 {
+        src.push('}');
+    }
+    src.push_str(" return x; } }");
+    compile(&src).expect("deeply nested blocks compile");
+}

@@ -1,0 +1,141 @@
+//! Dead code elimination: removes effect-free instructions whose
+//! results are never used, and dead phis (transitively).
+//!
+//! Exceptional instructions (`nullcheck`, `indexcheck`, `upcast`,
+//! `xprimitive`, calls) are never removed even when their results are
+//! dead — their potential exception is an observable effect. Stores
+//! and calls are effects and always stay.
+
+use safetsa_core::function::Function;
+use safetsa_core::instr::Instr;
+use safetsa_core::rewrite::{compact, Rewrite};
+use safetsa_core::value::{BlockId, Def, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Whether an instruction can be deleted when its result is unused.
+fn is_removable(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Primitive { .. }
+            | Instr::Downcast { .. }
+            | Instr::InstanceOf { .. }
+            | Instr::RefEq { .. }
+            | Instr::ArrayLength { .. }
+            | Instr::GetField { .. }
+            | Instr::GetStatic { .. }
+            | Instr::GetElt { .. }
+            | Instr::New { .. }
+    )
+}
+
+/// Runs DCE to a fixpoint; returns the new function and the number of
+/// instructions + phis removed.
+pub fn run(f: &Function) -> (Function, usize) {
+    let mut cur = f.clone();
+    let mut total = 0;
+    loop {
+        let mut removed = run_once(&mut cur);
+        // Trivial- and dead-phi pruning (Briggs et al.; the phi-count
+        // reductions of Figure 6 come from here).
+        let (pruned, phis_removed) = safetsa_core::rewrite::prune_phis(&cur);
+        if phis_removed > 0 {
+            cur = pruned;
+            removed += phis_removed;
+        }
+        if removed == 0 {
+            return (cur, total);
+        }
+        total += removed;
+    }
+}
+
+fn run_once(f: &mut Function) -> usize {
+    // Mark: roots are terminator uses, effects' operands, provenance.
+    let mut uses: HashMap<ValueId, usize> = HashMap::new();
+    let mut bump = |v: ValueId| *uses.entry(v).or_insert(0) += 1;
+    for block in &f.blocks {
+        for phi in &block.phis {
+            for (_, v) in &phi.args {
+                bump(*v);
+            }
+        }
+        for instr in &block.instrs {
+            for v in instr.operands() {
+                bump(v);
+            }
+        }
+    }
+    f.body.walk(&mut |c| {
+        use safetsa_core::cst::Cst;
+        match c {
+            Cst::If { cond, .. } => bump(*cond),
+            Cst::Return(Some(v)) | Cst::Throw(v) => bump(*v),
+            _ => {}
+        }
+    });
+    for info in &f.values {
+        if let Some(p) = info.provenance {
+            bump(p);
+        }
+    }
+
+    // Sweep: iteratively find dead values (count 0, or only used by
+    // other dead values). Simple worklist: collect dead candidates.
+    let mut dead: HashSet<ValueId> = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let b = BlockId(bi as u32);
+            for (k, instr) in block.instrs.iter().enumerate() {
+                let Some(result) = f.instr_result(b, k) else {
+                    continue;
+                };
+                if dead.contains(&result) || !is_removable(instr) {
+                    continue;
+                }
+                if uses.get(&result).copied().unwrap_or(0) == 0 {
+                    dead.insert(result);
+                    changed = true;
+                    for v in instr.operands() {
+                        if let Some(c) = uses.get_mut(&v) {
+                            *c -= 1;
+                        }
+                    }
+                }
+            }
+            for (k, phi) in block.phis.iter().enumerate() {
+                let result = f.phi_result(b, k);
+                if dead.contains(&result) {
+                    continue;
+                }
+                // A phi used only by itself (self-loop) with no other
+                // uses is dead too.
+                let self_uses = phi.args.iter().filter(|(_, v)| *v == result).count();
+                if uses.get(&result).copied().unwrap_or(0) == self_uses {
+                    dead.insert(result);
+                    changed = true;
+                    for (_, v) in &phi.args {
+                        if let Some(c) = uses.get_mut(v) {
+                            *c -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if dead.is_empty() {
+        return 0;
+    }
+    let mut rw = Rewrite::default();
+    for &v in &dead {
+        match f.value(v).def {
+            Def::Instr(b, k) => rw.delete_instrs.push((b, k as usize)),
+            Def::Phi(b, k) => rw.delete_phis.push((b, k as usize)),
+            _ => {}
+        }
+    }
+    let removed = rw.delete_instrs.len() + rw.delete_phis.len();
+    *f = compact(f, &rw);
+    removed
+}

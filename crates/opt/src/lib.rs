@@ -1,0 +1,213 @@
+//! # safetsa-opt
+//!
+//! Producer-side optimization of SafeTSA programs (§8 of the paper):
+//! the code *producer* runs constant propagation, common subexpression
+//! elimination, and dead-code elimination, and ships the optimized
+//! program — the format transports the result tamper-proof, which is
+//! the paper's headline capability (null-check and bounds-check
+//! elimination whose results survive transport).
+//!
+//! * [`constprop`] — constant folding over the SSA graph,
+//! * [`cse`] — dominator-scoped available-expression CSE with the `Mem`
+//!   pseudo-value for memory dependences (stores and calls define a new
+//!   memory state; loads key on the current one),
+//! * [`dce`] — liveness-based dead instruction and phi removal.
+//!
+//! Check elimination falls out of CSE: a dominating `nullcheck`
+//! (`indexcheck`) of the same value(s) makes later ones redundant; the
+//! later check's uses are rewired to the dominating safe value.
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = safetsa_frontend::compile(
+//!     "class A { int f; static int g(A a) { return a.f + a.f; } }",
+//! )?;
+//! let mut lowered = safetsa_ssa::lower_program(&prog)?;
+//! let stats = safetsa_opt::optimize_module(&mut lowered.module);
+//! assert!(stats.null_checks_after <= stats.null_checks_before);
+//! safetsa_core::verify::verify_module(&lowered.module)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod constprop;
+pub mod cse;
+pub mod dce;
+mod fixup;
+
+use safetsa_core::function::Function;
+use safetsa_core::instr::Instr;
+use safetsa_core::module::Module;
+use safetsa_core::types::TypeTable;
+
+/// How CSE models memory dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemModel {
+    /// §8's single `Mem` pseudo-value: any store or call invalidates
+    /// every load.
+    #[default]
+    Monolithic,
+    /// §8's proposed improvement (field analysis, the paper's citation
+    /// \[15\]): `Mem` partitioned by field name and by array element
+    /// type; only calls invalidate everything. Sound because of type
+    /// separation.
+    FieldPartitioned,
+}
+
+/// Which passes to run (ablation knobs for the pass-contribution
+/// breakdown the paper reports in §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Passes {
+    /// Constant propagation and folding.
+    pub constprop: bool,
+    /// Common subexpression elimination (with `Mem`).
+    pub cse: bool,
+    /// Dead code and phi elimination.
+    pub dce: bool,
+    /// Memory model used by CSE.
+    pub mem: MemModel,
+}
+
+impl Passes {
+    /// Everything on (the paper's "SafeTSA optimized" configuration).
+    pub const ALL: Passes = Passes {
+        constprop: true,
+        cse: true,
+        dce: true,
+        mem: MemModel::Monolithic,
+    };
+
+    /// Everything on, with the field-partitioned memory extension.
+    pub const ALL_FIELD_MEM: Passes = Passes {
+        constprop: true,
+        cse: true,
+        dce: true,
+        mem: MemModel::FieldPartitioned,
+    };
+
+    /// Nothing on.
+    pub const NONE: Passes = Passes {
+        constprop: false,
+        cse: false,
+        dce: false,
+        mem: MemModel::Monolithic,
+    };
+}
+
+/// Aggregate statistics for Figure 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions before optimization.
+    pub instrs_before: usize,
+    /// Instructions after.
+    pub instrs_after: usize,
+    /// Phi nodes before.
+    pub phis_before: usize,
+    /// Phi nodes after.
+    pub phis_after: usize,
+    /// `nullcheck` instructions before.
+    pub null_checks_before: usize,
+    /// `nullcheck` instructions after.
+    pub null_checks_after: usize,
+    /// `indexcheck` instructions before.
+    pub index_checks_before: usize,
+    /// `indexcheck` instructions after.
+    pub index_checks_after: usize,
+    /// Instructions removed by constant propagation.
+    pub removed_by_constprop: usize,
+    /// Instructions removed by CSE.
+    pub removed_by_cse: usize,
+    /// Instructions (and phis) removed by DCE.
+    pub removed_by_dce: usize,
+}
+
+impl OptStats {
+    /// Accumulates another function's statistics.
+    pub fn add(&mut self, o: &OptStats) {
+        self.instrs_before += o.instrs_before;
+        self.instrs_after += o.instrs_after;
+        self.phis_before += o.phis_before;
+        self.phis_after += o.phis_after;
+        self.null_checks_before += o.null_checks_before;
+        self.null_checks_after += o.null_checks_after;
+        self.index_checks_before += o.index_checks_before;
+        self.index_checks_after += o.index_checks_after;
+        self.removed_by_constprop += o.removed_by_constprop;
+        self.removed_by_cse += o.removed_by_cse;
+        self.removed_by_dce += o.removed_by_dce;
+    }
+}
+
+fn count_checks(f: &Function) -> (usize, usize) {
+    (
+        f.count_instrs(|i| matches!(i, Instr::NullCheck { .. })),
+        f.count_instrs(|i| matches!(i, Instr::IndexCheck { .. })),
+    )
+}
+
+/// Optimizes one function with the selected passes, returning the new
+/// function and its statistics.
+pub fn optimize_function(types: &TypeTable, f: &Function, passes: Passes) -> (Function, OptStats) {
+    let mut stats = OptStats {
+        instrs_before: f.instr_count(),
+        phis_before: f.phi_count(),
+        ..OptStats::default()
+    };
+    let (nb, ib) = count_checks(f);
+    stats.null_checks_before = nb;
+    stats.index_checks_before = ib;
+
+    let mut cur = f.clone();
+    // Iterate to a small fixpoint: constant propagation can expose CSE,
+    // CSE exposes dead code, and DCE can expose more constants.
+    for _ in 0..3 {
+        let mut changed = false;
+        if passes.constprop {
+            let (next, removed) = constprop::run(types, &cur);
+            stats.removed_by_constprop += removed;
+            changed |= removed > 0;
+            cur = next;
+        }
+        if passes.cse {
+            let (next, removed) = cse::run_with(types, &cur, passes.mem);
+            stats.removed_by_cse += removed;
+            changed |= removed > 0;
+            cur = next;
+        }
+        if passes.dce {
+            let (next, removed) = dce::run(&cur);
+            stats.removed_by_dce += removed;
+            changed |= removed > 0;
+            cur = next;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    stats.instrs_after = cur.instr_count();
+    stats.phis_after = cur.phi_count();
+    let (na, ia) = count_checks(&cur);
+    stats.null_checks_after = na;
+    stats.index_checks_after = ia;
+    (cur, stats)
+}
+
+/// Optimizes every function of a module in place with all passes.
+pub fn optimize_module(m: &mut Module) -> OptStats {
+    optimize_module_with(m, Passes::ALL)
+}
+
+/// Optimizes every function of a module in place with selected passes.
+pub fn optimize_module_with(m: &mut Module, passes: Passes) -> OptStats {
+    let mut total = OptStats::default();
+    let functions = std::mem::take(&mut m.functions);
+    for f in functions {
+        let (g, stats) = optimize_function(&m.types, &f, passes);
+        total.add(&stats);
+        m.functions.push(g);
+    }
+    total
+}

@@ -1,0 +1,239 @@
+//! The shared heap: class instances, typed arrays, and strings.
+
+use crate::value::Value;
+use crate::Trap;
+use std::rc::Rc;
+
+/// A heap handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeapRef(pub u32);
+
+/// Element storage of an array (typed, as a real VM would lay out).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrData {
+    /// `boolean[]`.
+    Z(Vec<bool>),
+    /// `char[]`.
+    C(Vec<u16>),
+    /// `int[]`.
+    I(Vec<i32>),
+    /// `long[]`.
+    J(Vec<i64>),
+    /// `float[]`.
+    F(Vec<f32>),
+    /// `double[]`.
+    D(Vec<f64>),
+    /// Reference arrays (classes, strings, nested arrays).
+    R(Vec<Option<HeapRef>>),
+}
+
+impl ArrData {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrData::Z(v) => v.len(),
+            ArrData::C(v) => v.len(),
+            ArrData::I(v) => v.len(),
+            ArrData::J(v) => v.len(),
+            ArrData::F(v) => v.len(),
+            ArrData::D(v) => v.len(),
+            ArrData::R(v) => v.len(),
+        }
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::IndexOutOfBounds`] when out of range.
+    pub fn get(&self, i: usize) -> Result<Value, Trap> {
+        if i >= self.len() {
+            return Err(Trap::IndexOutOfBounds);
+        }
+        Ok(match self {
+            ArrData::Z(v) => Value::Z(v[i]),
+            ArrData::C(v) => Value::C(v[i]),
+            ArrData::I(v) => Value::I(v[i]),
+            ArrData::J(v) => Value::J(v[i]),
+            ArrData::F(v) => Value::F(v[i]),
+            ArrData::D(v) => Value::D(v[i]),
+            ArrData::R(v) => Value::Ref(v[i]),
+        })
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::IndexOutOfBounds`] when out of range, or
+    /// [`Trap::Internal`] on a kind mismatch (verified code never does).
+    pub fn set(&mut self, i: usize, v: Value) -> Result<(), Trap> {
+        if i >= self.len() {
+            return Err(Trap::IndexOutOfBounds);
+        }
+        match (self, v) {
+            (ArrData::Z(a), Value::Z(x)) => a[i] = x,
+            (ArrData::C(a), Value::C(x)) => a[i] = x,
+            (ArrData::I(a), Value::I(x)) => a[i] = x,
+            (ArrData::J(a), Value::J(x)) => a[i] = x,
+            (ArrData::F(a), Value::F(x)) => a[i] = x,
+            (ArrData::D(a), Value::D(x)) => a[i] = x,
+            (ArrData::R(a), Value::Ref(x)) => a[i] = x,
+            _ => return Err(Trap::Internal("array element kind mismatch".into())),
+        }
+        Ok(())
+    }
+}
+
+/// One heap object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Obj {
+    /// A class instance with flattened fields (superclass fields first).
+    Instance {
+        /// Class index (engine-specific class table).
+        class: usize,
+        /// Flattened instance fields.
+        fields: Vec<Value>,
+        /// Message slot of throwables (hidden host field).
+        msg: Option<HeapRef>,
+    },
+    /// An array. `elem_class` distinguishes reference element types for
+    /// `instanceof`/checked casts on arrays (unused for primitives).
+    Array {
+        /// A compact type tag assigned by the engine (opaque to rt).
+        type_tag: u64,
+        /// Elements.
+        data: ArrData,
+    },
+    /// An immutable string.
+    Str(Rc<str>),
+}
+
+/// The heap: a growable object store (no GC — the workloads are
+/// bounded; a real system would plug a collector in here).
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    objects: Vec<Obj>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Allocates an object.
+    pub fn alloc(&mut self, obj: Obj) -> HeapRef {
+        let r = HeapRef(self.objects.len() as u32);
+        self.objects.push(obj);
+        r
+    }
+
+    /// Allocates a string.
+    pub fn alloc_str(&mut self, s: impl Into<Rc<str>>) -> HeapRef {
+        self.alloc(Obj::Str(s.into()))
+    }
+
+    /// Reads an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling handle (cannot happen without unsafe code).
+    pub fn get(&self, r: HeapRef) -> &Obj {
+        &self.objects[r.0 as usize]
+    }
+
+    /// Mutable object access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling handle.
+    pub fn get_mut(&mut self, r: HeapRef) -> &mut Obj {
+        &mut self.objects[r.0 as usize]
+    }
+
+    /// Reads a string object's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Internal`] if the object is not a string.
+    pub fn str(&self, r: HeapRef) -> Result<&Rc<str>, Trap> {
+        match self.get(r) {
+            Obj::Str(s) => Ok(s),
+            _ => Err(Trap::Internal("expected string object".into())),
+        }
+    }
+
+    /// The class of an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Internal`] if the object is not an instance.
+    pub fn instance_class(&self, r: HeapRef) -> Result<usize, Trap> {
+        match self.get(r) {
+            Obj::Instance { class, .. } => Ok(*class),
+            _ => Err(Trap::Internal("expected instance".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut h = Heap::new();
+        let s = h.alloc_str("hi");
+        assert_eq!(&**h.str(s).unwrap(), "hi");
+        let a = h.alloc(Obj::Array {
+            type_tag: 0,
+            data: ArrData::I(vec![0; 3]),
+        });
+        if let Obj::Array { data, .. } = h.get_mut(a) {
+            data.set(1, Value::I(42)).unwrap();
+            assert_eq!(data.get(1).unwrap(), Value::I(42));
+            assert_eq!(data.get(3), Err(Trap::IndexOutOfBounds));
+        } else {
+            panic!("not an array");
+        }
+    }
+
+    #[test]
+    fn array_kind_mismatch_is_internal() {
+        let mut d = ArrData::I(vec![0]);
+        assert!(matches!(d.set(0, Value::Z(true)), Err(Trap::Internal(_))));
+    }
+
+    #[test]
+    fn instance_fields() {
+        let mut h = Heap::new();
+        let o = h.alloc(Obj::Instance {
+            class: 5,
+            fields: vec![Value::I(0), Value::NULL],
+            msg: None,
+        });
+        assert_eq!(h.instance_class(o).unwrap(), 5);
+        if let Obj::Instance { fields, .. } = h.get_mut(o) {
+            fields[0] = Value::I(9);
+        }
+        if let Obj::Instance { fields, .. } = h.get(o) {
+            assert_eq!(fields[0], Value::I(9));
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Host intrinsics: the native implementations of the imported
+//! classes' methods (`Math`, `Sys`, `String`, `Throwable`).
+//!
+//! Engines resolve a method to an intrinsic by a descriptor key of the
+//! form `Class.name(SIG)` where `SIG` uses JVM-style letters
+//! (`Z C I J F D` for primitives, `L` for any reference).
+
+use crate::format;
+use crate::heap::{Heap, HeapRef, Obj};
+use crate::value::Value;
+use crate::{Output, Trap};
+
+/// The intrinsic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Intrinsic {
+    ObjectCtor,
+    MathSqrt,
+    MathAbsI,
+    MathAbsL,
+    MathAbsD,
+    MathMinI,
+    MathMaxI,
+    MathMinD,
+    MathMaxD,
+    MathFloor,
+    MathCeil,
+    MathPow,
+    SysPrintI,
+    SysPrintL,
+    SysPrintD,
+    SysPrintC,
+    SysPrintB,
+    SysPrintS,
+    SysPrintlnI,
+    SysPrintlnL,
+    SysPrintlnD,
+    SysPrintlnC,
+    SysPrintlnB,
+    SysPrintlnS,
+    SysPrintln,
+    StrLength,
+    StrCharAt,
+    StrConcat,
+    StrEquals,
+    StrCompareTo,
+    StrIndexOfChar,
+    StrSubstring,
+    StrValueOfI,
+    StrValueOfL,
+    StrValueOfD,
+    StrValueOfC,
+    StrValueOfB,
+    ThrowableCtor,
+    ThrowableCtorMsg,
+    ThrowableGetMessage,
+}
+
+/// Resolves a descriptor key (`"Math.sqrt(D)"`, `"String.charAt(I)"`).
+/// Receivers are not part of the signature. The throwable-hierarchy
+/// classes all share the `Throwable` constructors, so any class name is
+/// accepted for `<init>()` / `<init>(L)` / `getMessage()` when the
+/// specific key is unknown.
+pub fn resolve(class: &str, method: &str, sig: &str) -> Option<Intrinsic> {
+    use Intrinsic::*;
+    let key = (class, method, sig);
+    Some(match key {
+        ("Object", "<init>", "") => ObjectCtor,
+        ("Math", "sqrt", "D") => MathSqrt,
+        ("Math", "abs", "I") => MathAbsI,
+        ("Math", "abs", "J") => MathAbsL,
+        ("Math", "abs", "D") => MathAbsD,
+        ("Math", "min", "II") => MathMinI,
+        ("Math", "max", "II") => MathMaxI,
+        ("Math", "min", "DD") => MathMinD,
+        ("Math", "max", "DD") => MathMaxD,
+        ("Math", "floor", "D") => MathFloor,
+        ("Math", "ceil", "D") => MathCeil,
+        ("Math", "pow", "DD") => MathPow,
+        ("Sys", "print", "I") => SysPrintI,
+        ("Sys", "print", "J") => SysPrintL,
+        ("Sys", "print", "D") => SysPrintD,
+        ("Sys", "print", "C") => SysPrintC,
+        ("Sys", "print", "Z") => SysPrintB,
+        ("Sys", "print", "L") => SysPrintS,
+        ("Sys", "println", "I") => SysPrintlnI,
+        ("Sys", "println", "J") => SysPrintlnL,
+        ("Sys", "println", "D") => SysPrintlnD,
+        ("Sys", "println", "C") => SysPrintlnC,
+        ("Sys", "println", "Z") => SysPrintlnB,
+        ("Sys", "println", "L") => SysPrintlnS,
+        ("Sys", "println", "") => SysPrintln,
+        ("String", "length", "") => StrLength,
+        ("String", "charAt", "I") => StrCharAt,
+        ("String", "concat", "L") => StrConcat,
+        ("String", "equals", "L") => StrEquals,
+        ("String", "compareTo", "L") => StrCompareTo,
+        ("String", "indexOf", "C") => StrIndexOfChar,
+        ("String", "substring", "II") => StrSubstring,
+        ("String", "valueOf", "I") => StrValueOfI,
+        ("String", "valueOf", "J") => StrValueOfL,
+        ("String", "valueOf", "D") => StrValueOfD,
+        ("String", "valueOf", "C") => StrValueOfC,
+        ("String", "valueOf", "Z") => StrValueOfB,
+        (_, "<init>", "") => ThrowableCtor,
+        (_, "<init>", "L") => ThrowableCtorMsg,
+        (_, "getMessage", "") => ThrowableGetMessage,
+        _ => return None,
+    })
+}
+
+fn str_of(heap: &Heap, v: Value) -> Result<std::rc::Rc<str>, Trap> {
+    match v.as_ref() {
+        None => Err(Trap::NullPointer),
+        Some(r) => Ok(heap.str(r)?.clone()),
+    }
+}
+
+/// Invokes an intrinsic. `recv` carries the receiver for instance
+/// intrinsics (already null-checked by the caller for SafeTSA; the
+/// baseline checks here).
+///
+/// # Errors
+///
+/// Traps on null receivers/arguments and string index violations.
+pub fn invoke(
+    i: Intrinsic,
+    heap: &mut Heap,
+    out: &mut Output,
+    recv: Option<Value>,
+    args: &[Value],
+) -> Result<Option<Value>, Trap> {
+    use Intrinsic::*;
+    let recv_ref = || -> Result<HeapRef, Trap> {
+        recv.ok_or_else(|| Trap::Internal("missing receiver".into()))?
+            .as_ref()
+            .ok_or(Trap::NullPointer)
+    };
+    Ok(match i {
+        ObjectCtor | ThrowableCtor => None,
+        ThrowableCtorMsg => {
+            let r = recv_ref()?;
+            let msg = args[0].as_ref();
+            match heap.get_mut(r) {
+                Obj::Instance { msg: slot, .. } => *slot = msg,
+                _ => return Err(Trap::Internal("throwable ctor on non-instance".into())),
+            }
+            None
+        }
+        ThrowableGetMessage => {
+            let r = recv_ref()?;
+            match heap.get(r) {
+                Obj::Instance { msg, .. } => Some(Value::Ref(*msg)),
+                _ => return Err(Trap::Internal("getMessage on non-instance".into())),
+            }
+        }
+        MathSqrt => Some(Value::D(args[0].as_d().sqrt())),
+        MathAbsI => Some(Value::I(args[0].as_i().wrapping_abs())),
+        MathAbsL => Some(Value::J(args[0].as_j().wrapping_abs())),
+        MathAbsD => Some(Value::D(args[0].as_d().abs())),
+        MathMinI => Some(Value::I(args[0].as_i().min(args[1].as_i()))),
+        MathMaxI => Some(Value::I(args[0].as_i().max(args[1].as_i()))),
+        MathMinD => {
+            let (a, b) = (args[0].as_d(), args[1].as_d());
+            Some(Value::D(if a.is_nan() || b.is_nan() {
+                f64::NAN
+            } else {
+                a.min(b)
+            }))
+        }
+        MathMaxD => {
+            let (a, b) = (args[0].as_d(), args[1].as_d());
+            Some(Value::D(if a.is_nan() || b.is_nan() {
+                f64::NAN
+            } else {
+                a.max(b)
+            }))
+        }
+        MathFloor => Some(Value::D(args[0].as_d().floor())),
+        MathCeil => Some(Value::D(args[0].as_d().ceil())),
+        MathPow => Some(Value::D(args[0].as_d().powf(args[1].as_d()))),
+        SysPrintI => {
+            out.push(&format::fmt_int(args[0].as_i()));
+            None
+        }
+        SysPrintL => {
+            out.push(&format::fmt_long(args[0].as_j()));
+            None
+        }
+        SysPrintD => {
+            out.push(&format::fmt_double(args[0].as_d()));
+            None
+        }
+        SysPrintC => {
+            out.push(&format::fmt_char(args[0].as_c()));
+            None
+        }
+        SysPrintB => {
+            out.push(&format::fmt_bool(args[0].as_z()));
+            None
+        }
+        SysPrintS => {
+            let s = str_of(heap, args[0])?;
+            out.push(&s);
+            None
+        }
+        SysPrintlnI => {
+            out.push(&format::fmt_int(args[0].as_i()));
+            out.newline();
+            None
+        }
+        SysPrintlnL => {
+            out.push(&format::fmt_long(args[0].as_j()));
+            out.newline();
+            None
+        }
+        SysPrintlnD => {
+            out.push(&format::fmt_double(args[0].as_d()));
+            out.newline();
+            None
+        }
+        SysPrintlnC => {
+            out.push(&format::fmt_char(args[0].as_c()));
+            out.newline();
+            None
+        }
+        SysPrintlnB => {
+            out.push(&format::fmt_bool(args[0].as_z()));
+            out.newline();
+            None
+        }
+        SysPrintlnS => {
+            let s = str_of(heap, args[0])?;
+            out.push(&s);
+            out.newline();
+            None
+        }
+        SysPrintln => {
+            out.newline();
+            None
+        }
+        StrLength => {
+            let r = recv_ref()?;
+            let s = heap.str(r)?.clone();
+            Some(Value::I(s.encode_utf16().count() as i32))
+        }
+        StrCharAt => {
+            let r = recv_ref()?;
+            let s = heap.str(r)?.clone();
+            let i = args[0].as_i();
+            if i < 0 {
+                return Err(Trap::IndexOutOfBounds);
+            }
+            let u = s
+                .encode_utf16()
+                .nth(i as usize)
+                .ok_or(Trap::IndexOutOfBounds)?;
+            Some(Value::C(u))
+        }
+        StrConcat => {
+            let r = recv_ref()?;
+            let a = heap.str(r)?.clone();
+            let b = str_of(heap, args[0])?;
+            let joined: String = format!("{a}{b}");
+            Some(Value::Ref(Some(heap.alloc_str(joined))))
+        }
+        StrEquals => {
+            let r = recv_ref()?;
+            let a = heap.str(r)?.clone();
+            // Java's equals(null) is false; equals(non-string) too.
+            let eq = match args[0].as_ref() {
+                None => false,
+                Some(o) => match heap.get(o) {
+                    Obj::Str(b) => *a == **b,
+                    _ => false,
+                },
+            };
+            Some(Value::Z(eq))
+        }
+        StrCompareTo => {
+            let r = recv_ref()?;
+            let a = heap.str(r)?.clone();
+            let b = str_of(heap, args[0])?;
+            // UTF-16 code unit comparison like Java.
+            let av: Vec<u16> = a.encode_utf16().collect();
+            let bv: Vec<u16> = b.encode_utf16().collect();
+            let ord = match av.cmp(&bv) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            };
+            Some(Value::I(ord))
+        }
+        StrIndexOfChar => {
+            let r = recv_ref()?;
+            let s = heap.str(r)?.clone();
+            let c = args[0].as_c();
+            let pos = s
+                .encode_utf16()
+                .position(|u| u == c)
+                .map(|p| p as i32)
+                .unwrap_or(-1);
+            Some(Value::I(pos))
+        }
+        StrSubstring => {
+            let r = recv_ref()?;
+            let s = heap.str(r)?.clone();
+            let units: Vec<u16> = s.encode_utf16().collect();
+            let (b, e) = (args[0].as_i(), args[1].as_i());
+            if b < 0 || e < b || e as usize > units.len() {
+                return Err(Trap::IndexOutOfBounds);
+            }
+            let sub = String::from_utf16_lossy(&units[b as usize..e as usize]);
+            Some(Value::Ref(Some(heap.alloc_str(sub))))
+        }
+        StrValueOfI => Some(Value::Ref(Some(
+            heap.alloc_str(format::fmt_int(args[0].as_i())),
+        ))),
+        StrValueOfL => Some(Value::Ref(Some(
+            heap.alloc_str(format::fmt_long(args[0].as_j())),
+        ))),
+        StrValueOfD => Some(Value::Ref(Some(
+            heap.alloc_str(format::fmt_double(args[0].as_d())),
+        ))),
+        StrValueOfC => Some(Value::Ref(Some(
+            heap.alloc_str(format::fmt_char(args[0].as_c())),
+        ))),
+        StrValueOfB => Some(Value::Ref(Some(
+            heap.alloc_str(format::fmt_bool(args[0].as_z())),
+        ))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_descriptors() {
+        assert_eq!(resolve("Math", "sqrt", "D"), Some(Intrinsic::MathSqrt));
+        assert_eq!(resolve("Math", "min", "II"), Some(Intrinsic::MathMinI));
+        assert_eq!(resolve("Sys", "println", ""), Some(Intrinsic::SysPrintln));
+        assert_eq!(
+            resolve("ArithmeticException", "<init>", "L"),
+            Some(Intrinsic::ThrowableCtorMsg)
+        );
+        assert_eq!(resolve("Math", "nope", "D"), None);
+    }
+
+    #[test]
+    fn math_and_prints() {
+        let mut heap = Heap::new();
+        let mut out = Output::new();
+        let v = invoke(
+            Intrinsic::MathSqrt,
+            &mut heap,
+            &mut out,
+            None,
+            &[Value::D(9.0)],
+        )
+        .unwrap();
+        assert_eq!(v, Some(Value::D(3.0)));
+        invoke(
+            Intrinsic::SysPrintlnI,
+            &mut heap,
+            &mut out,
+            None,
+            &[Value::I(7)],
+        )
+        .unwrap();
+        assert_eq!(out.text(), "7\n");
+    }
+
+    #[test]
+    fn string_ops() {
+        let mut heap = Heap::new();
+        let mut out = Output::new();
+        let a = heap.alloc_str("abc");
+        let b = heap.alloc_str("def");
+        let joined = invoke(
+            Intrinsic::StrConcat,
+            &mut heap,
+            &mut out,
+            Some(Value::Ref(Some(a))),
+            &[Value::Ref(Some(b))],
+        )
+        .unwrap()
+        .unwrap();
+        let j = joined.as_ref().unwrap();
+        assert_eq!(&**heap.str(j).unwrap(), "abcdef");
+        let len = invoke(
+            Intrinsic::StrLength,
+            &mut heap,
+            &mut out,
+            Some(Value::Ref(Some(j))),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(len, Some(Value::I(6)));
+        let ch = invoke(
+            Intrinsic::StrCharAt,
+            &mut heap,
+            &mut out,
+            Some(Value::Ref(Some(j))),
+            &[Value::I(3)],
+        )
+        .unwrap();
+        assert_eq!(ch, Some(Value::C(b'd' as u16)));
+        let oob = invoke(
+            Intrinsic::StrCharAt,
+            &mut heap,
+            &mut out,
+            Some(Value::Ref(Some(j))),
+            &[Value::I(10)],
+        );
+        assert_eq!(oob, Err(Trap::IndexOutOfBounds));
+    }
+
+    #[test]
+    fn throwable_message_round_trip() {
+        let mut heap = Heap::new();
+        let mut out = Output::new();
+        let msg = heap.alloc_str("boom");
+        let obj = heap.alloc(Obj::Instance {
+            class: 3,
+            fields: vec![],
+            msg: None,
+        });
+        invoke(
+            Intrinsic::ThrowableCtorMsg,
+            &mut heap,
+            &mut out,
+            Some(Value::Ref(Some(obj))),
+            &[Value::Ref(Some(msg))],
+        )
+        .unwrap();
+        let got = invoke(
+            Intrinsic::ThrowableGetMessage,
+            &mut heap,
+            &mut out,
+            Some(Value::Ref(Some(obj))),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(got, Some(Value::Ref(Some(msg))));
+    }
+
+    #[test]
+    fn null_receiver_traps() {
+        let mut heap = Heap::new();
+        let mut out = Output::new();
+        let r = invoke(
+            Intrinsic::StrLength,
+            &mut heap,
+            &mut out,
+            Some(Value::NULL),
+            &[],
+        );
+        assert_eq!(r, Err(Trap::NullPointer));
+    }
+}

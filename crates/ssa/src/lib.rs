@@ -1,0 +1,94 @@
+//! # safetsa-ssa
+//!
+//! The SafeTSA *producer*: translates the front-end's typed HIR into
+//! the SafeTSA representation using the single-pass Brandis–Mössenböck
+//! SSA construction the paper describes in §7. The construction avoids
+//! placing phis that a naive join-everywhere constructor would insert
+//! (the paper reports ~31% of phis avoided/pruned); the remaining dead
+//! phis are removed by producer-side DCE (`safetsa-opt`).
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = safetsa_frontend::compile(
+//!     "class A { static int inc(int x) { return x + 1; } }",
+//! )?;
+//! let lowered = safetsa_ssa::lower_program(&prog)?;
+//! safetsa_core::verify::verify_module(&lowered.module)?;
+//! assert!(lowered.module.find_function("A.inc").is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cleanup;
+pub mod lower;
+pub mod typemap;
+
+pub use lower::{FnStats, LowerError};
+
+use safetsa_core::module::{Module, WellKnown};
+use safetsa_frontend::hir::Program;
+
+/// The result of lowering a whole program.
+#[derive(Debug)]
+pub struct Lowered {
+    /// The SafeTSA distribution unit.
+    pub module: Module,
+    /// Per-function construction statistics, parallel to
+    /// `module.functions`.
+    pub stats: Vec<FnStats>,
+}
+
+impl Lowered {
+    /// Aggregate statistics across all functions.
+    pub fn totals(&self) -> FnStats {
+        let mut t = FnStats::default();
+        for s in &self.stats {
+            t.phis_candidate += s.phis_candidate;
+            t.phis_inserted += s.phis_inserted;
+            t.null_checks += s.null_checks;
+            t.index_checks += s.index_checks;
+        }
+        t
+    }
+}
+
+/// Lowers a resolved program to a SafeTSA module.
+///
+/// Every user-defined method body is translated; built-in (imported)
+/// methods keep `body: None` and are provided by the host at run time.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] if the HIR violates an invariant the
+/// lowering relies on (indicative of a front-end bug).
+pub fn lower_program(prog: &Program) -> Result<Lowered, LowerError> {
+    let (mut types, map) = typemap::build(prog);
+    let mut functions = Vec::new();
+    let mut stats = Vec::new();
+    for (ci, class) in prog.classes.iter().enumerate() {
+        for (mi, method) in class.methods.iter().enumerate() {
+            if method.body.is_none() {
+                continue;
+            }
+            let lower = lower::Lower::new(prog, &mut types, &map, ci, mi)?;
+            let (f, fstats) = lower.run(ci, mi)?;
+            let func_id = functions.len() as u32;
+            types.class_mut(map.class_id(ci)).methods[mi].body = Some(func_id);
+            functions.push(f);
+            stats.push(fstats);
+        }
+    }
+    let module = Module {
+        name: "program".into(),
+        types,
+        well_known: WellKnown {
+            object: map.class_id(prog.object),
+            throwable: map.class_id(prog.throwable),
+            string: map.class_id(prog.string),
+        },
+        functions,
+    };
+    Ok(Lowered { module, stats })
+}

@@ -1,0 +1,171 @@
+//! Mapping from the front-end's semantic types to the SafeTSA type
+//! table (register planes).
+//!
+//! HIR class indices map 1:1 onto core [`ClassId`]s, and field/method
+//! indices are preserved, so symbolic member references can be built
+//! without lookup tables.
+
+use safetsa_core::types::{
+    ClassId, ClassInfo, FieldInfo, MethodInfo, MethodKind as CoreMethodKind, TypeId, TypeTable,
+};
+use safetsa_frontend::hir::{self, MethodKind, PrimTy, Program, Ty};
+
+/// The realized mapping.
+#[derive(Debug)]
+pub struct TypeMap {
+    /// `ref` plane per HIR class index.
+    pub class_ty: Vec<TypeId>,
+}
+
+impl TypeMap {
+    /// The core class id for a HIR class index.
+    pub fn class_id(&self, idx: hir::ClassIdx) -> ClassId {
+        ClassId(idx as u32)
+    }
+
+    /// Maps a semantic type to its plane. `Ty::Null` and `Ty::Void` have
+    /// no plane and panic (the lowering handles them contextually).
+    pub fn ty(&self, types: &mut TypeTable, t: &Ty) -> TypeId {
+        match t {
+            Ty::Prim(p) => types.prim(prim(*p)),
+            Ty::Ref(c) => self.class_ty[*c],
+            Ty::Array(e) => {
+                let inner = self.ty(types, e);
+                types.array_of(inner)
+            }
+            Ty::Null => panic!("null has no plane; coerce to a reference type first"),
+            Ty::Void => panic!("void has no plane"),
+        }
+    }
+
+    /// Optional mapping for return types (`Void` → `None`).
+    pub fn ret_ty(&self, types: &mut TypeTable, t: &Ty) -> Option<TypeId> {
+        match t {
+            Ty::Void => None,
+            other => Some(self.ty(types, other)),
+        }
+    }
+}
+
+/// Maps a HIR primitive to the machine-model primitive.
+pub fn prim(p: PrimTy) -> safetsa_core::types::PrimKind {
+    use safetsa_core::types::PrimKind as K;
+    match p {
+        PrimTy::Bool => K::Bool,
+        PrimTy::Char => K::Char,
+        PrimTy::Int => K::Int,
+        PrimTy::Long => K::Long,
+        PrimTy::Float => K::Float,
+        PrimTy::Double => K::Double,
+    }
+}
+
+/// Builds the type table for `prog` (classes only; function bodies are
+/// attached by the lowering driver).
+pub fn build(prog: &Program) -> (TypeTable, TypeMap) {
+    let mut types = TypeTable::new();
+    // Pre-declare every class so forward superclass references resolve.
+    let mut class_ty = Vec::with_capacity(prog.classes.len());
+    for c in &prog.classes {
+        let (_, ty) = types.declare_class(ClassInfo {
+            name: c.name.clone(),
+            superclass: None,
+            fields: vec![],
+            methods: vec![],
+            imported: c.is_builtin,
+        });
+        class_ty.push(ty);
+    }
+    let map = TypeMap { class_ty };
+    // Fill superclasses and members.
+    for (idx, c) in prog.classes.iter().enumerate() {
+        let superclass = c.superclass.map(|s| map.class_id(s));
+        let fields: Vec<FieldInfo> = c
+            .fields
+            .iter()
+            .map(|f| {
+                let ty = map.ty(&mut types, &f.ty);
+                FieldInfo {
+                    name: f.name.clone(),
+                    ty,
+                    is_static: f.is_static,
+                }
+            })
+            .collect();
+        let methods: Vec<MethodInfo> = c
+            .methods
+            .iter()
+            .map(|m| {
+                let params = m.params.iter().map(|p| map.ty(&mut types, p)).collect();
+                let ret = map.ret_ty(&mut types, &m.ret);
+                MethodInfo {
+                    name: m.name.clone(),
+                    params,
+                    ret,
+                    kind: match m.kind {
+                        MethodKind::Static => CoreMethodKind::Static,
+                        MethodKind::Virtual => CoreMethodKind::Virtual,
+                        MethodKind::Special => CoreMethodKind::Special,
+                    },
+                    vtable_slot: m.vtable_slot.map(|s| s as u32),
+                    body: None,
+                }
+            })
+            .collect();
+        let id = map.class_id(idx);
+        let info = types.class_mut(id);
+        info.superclass = superclass;
+        info.fields = fields;
+        info.methods = methods;
+    }
+    // Every class gets a safe-ref plane eagerly: receivers live there.
+    for idx in 0..prog.classes.len() {
+        let ty = map.class_ty[idx];
+        types.safe_ref_of(ty);
+    }
+    (types, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetsa_frontend::compile;
+
+    #[test]
+    fn classes_map_one_to_one() {
+        let prog = compile("class A { int x; } class B extends A { }").unwrap();
+        let (types, map) = build(&prog);
+        let a = prog.find_class("A").unwrap();
+        let b = prog.find_class("B").unwrap();
+        assert_eq!(types.class(map.class_id(a)).name, "A");
+        assert_eq!(types.class(map.class_id(b)).name, "B");
+        assert_eq!(
+            types.class(map.class_id(b)).superclass,
+            Some(map.class_id(a))
+        );
+        assert_eq!(types.class(map.class_id(a)).fields[0].name, "x");
+        assert!(types.is_subclass(map.class_id(b), map.class_id(prog.object)));
+    }
+
+    #[test]
+    fn array_types_intern() {
+        let prog = compile("class A { int[][] m; }").unwrap();
+        let (mut types, map) = build(&prog);
+        let t1 = map.ty(
+            &mut types,
+            &Ty::Array(Box::new(Ty::Array(Box::new(Ty::INT)))),
+        );
+        let a = prog.find_class("A").unwrap();
+        let field_ty = types.class(map.class_id(a)).fields[0].ty;
+        assert_eq!(t1, field_ty);
+    }
+
+    #[test]
+    fn builtins_marked_imported() {
+        let prog = compile("class A { }").unwrap();
+        let (types, map) = build(&prog);
+        assert!(types.class(map.class_id(prog.object)).imported);
+        let a = prog.find_class("A").unwrap();
+        assert!(!types.class(map.class_id(a)).imported);
+    }
+}

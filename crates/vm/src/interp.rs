@@ -1,0 +1,963 @@
+//! The SafeTSA interpreter.
+
+use safetsa_core::cst::Cst;
+use safetsa_core::function::{Function, ENTRY};
+use safetsa_core::instr::Instr;
+use safetsa_core::module::{FuncId, Module};
+use safetsa_core::primops;
+use safetsa_core::types::{ClassId, MethodKind, MethodRef, PrimKind, TypeId, TypeKind};
+use safetsa_core::value::{BlockId, Literal, ValueId};
+use safetsa_rt::heap::{ArrData, Obj};
+use safetsa_rt::layout::{ClassShape, Layout, Statics};
+use safetsa_rt::{intrinsics, Heap, HeapRef, Output, Trap, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A VM-level failure: loading problems or uncaught traps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The module referenced a host class/method the VM does not know.
+    Load(String),
+    /// Execution trapped and no handler caught it.
+    Uncaught(Trap),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Load(s) => write!(f, "load error: {s}"),
+            VmError::Uncaught(t) => write!(f, "uncaught exception: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Built-in exception classes resolved at load time.
+#[derive(Debug, Clone, Copy)]
+struct ExcClasses {
+    arithmetic: ClassId,
+    null_pointer: ClassId,
+    index: ClassId,
+    cast: ClassId,
+    negative: ClassId,
+}
+
+/// The SafeTSA virtual machine.
+pub struct Vm<'m> {
+    module: &'m Module,
+    layout: Layout,
+    statics: Statics,
+    /// Per-class vtable: slot → (class, method index) — derived by the
+    /// consumer from the slot assignments in the type table.
+    vtables: Vec<Vec<(ClassId, u32)>>,
+    /// Per-class flattened instance-field default values.
+    field_defaults: Vec<Vec<Value>>,
+    exc: ExcClasses,
+    string_class: ClassId,
+    /// Interned string literals.
+    str_pool: HashMap<String, HeapRef>,
+    /// The heap.
+    pub heap: Heap,
+    /// Captured program output.
+    pub output: Output,
+    /// Remaining execution budget (instructions).
+    pub fuel: u64,
+    /// Instructions executed (for benchmarks).
+    pub steps: u64,
+}
+
+struct Frame {
+    values: Vec<Option<Value>>,
+    last_block: BlockId,
+    pending_exc: Option<HeapRef>,
+}
+
+enum Flow {
+    Normal,
+    Break(u32),
+    Continue(u32),
+    Return(Option<Value>),
+}
+
+impl<'m> Vm<'m> {
+    /// Loads a module: derives vtables, layouts, statics, and resolves
+    /// the built-in exception classes. Call
+    /// [`safetsa_core::verify::verify_module`] first; the VM assumes a
+    /// verified module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Load`] if a required host class is missing.
+    pub fn load(module: &'m Module) -> Result<Self, VmError> {
+        let types = &module.types;
+        let n = types.class_count();
+        let find = |name: &str| -> Result<ClassId, VmError> {
+            types
+                .classes()
+                .find(|(_, c)| c.name == name)
+                .map(|(id, _)| id)
+                .ok_or_else(|| VmError::Load(format!("missing host class {name}")))
+        };
+        let exc = ExcClasses {
+            arithmetic: find("ArithmeticException")?,
+            null_pointer: find("NullPointerException")?,
+            index: find("IndexOutOfBoundsException")?,
+            cast: find("ClassCastException")?,
+            negative: find("NegativeArraySizeException")?,
+        };
+        // Layout.
+        let shapes: Vec<ClassShape> = (0..n)
+            .map(|i| {
+                let c = types.class(ClassId(i as u32));
+                ClassShape {
+                    superclass: c.superclass.map(|s| s.index()),
+                    instance_fields: c.fields.iter().filter(|f| !f.is_static).count(),
+                    static_fields: c.fields.len(),
+                }
+            })
+            .collect();
+        let layout = Layout::build(&shapes);
+        let statics = Statics::build(&shapes);
+        // Vtables: parents before children via recursion.
+        let mut vtables: Vec<Option<Vec<(ClassId, u32)>>> = vec![None; n];
+        fn build_vtable(
+            i: usize,
+            types: &safetsa_core::TypeTable,
+            vtables: &mut Vec<Option<Vec<(ClassId, u32)>>>,
+        ) -> Vec<(ClassId, u32)> {
+            if let Some(v) = &vtables[i] {
+                return v.clone();
+            }
+            let c = types.class(ClassId(i as u32));
+            let mut table = match c.superclass {
+                Some(s) => build_vtable(s.index(), types, vtables),
+                None => Vec::new(),
+            };
+            for (mi, m) in c.methods.iter().enumerate() {
+                if let Some(slot) = m.vtable_slot {
+                    let slot = slot as usize;
+                    if table.len() <= slot {
+                        table.resize(slot + 1, (ClassId(i as u32), mi as u32));
+                    }
+                    table[slot] = (ClassId(i as u32), mi as u32);
+                }
+            }
+            vtables[i] = Some(table.clone());
+            table
+        }
+        for i in 0..n {
+            build_vtable(i, types, &mut vtables);
+        }
+        let vtables: Vec<Vec<(ClassId, u32)>> =
+            vtables.into_iter().map(|v| v.expect("built")).collect();
+        // Flattened field defaults.
+        let mut field_defaults = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut flat: Vec<Value> = Vec::new();
+            let mut chain = Vec::new();
+            let mut cur = Some(ClassId(i as u32));
+            while let Some(c) = cur {
+                chain.push(c);
+                cur = types.class(c).superclass;
+            }
+            for c in chain.into_iter().rev() {
+                for f in &types.class(c).fields {
+                    if !f.is_static {
+                        flat.push(default_value(types, f.ty));
+                    }
+                }
+            }
+            field_defaults.push(flat);
+        }
+        let mut vm = Vm {
+            module,
+            layout,
+            statics,
+            vtables,
+            field_defaults,
+            exc,
+            string_class: module.well_known.string,
+            str_pool: HashMap::new(),
+            heap: Heap::new(),
+            output: Output::new(),
+            fuel: u64::MAX,
+            steps: 0,
+        };
+        // Typed defaults for statics, then run the static initializers.
+        for i in 0..n {
+            let c = types.class(ClassId(i as u32));
+            for (k, f) in c.fields.iter().enumerate() {
+                if f.is_static {
+                    let d = default_value(types, f.ty);
+                    vm.statics.init_default(i, k, d);
+                }
+            }
+        }
+        Ok(vm)
+    }
+
+    /// Runs every `<clinit>` in class declaration order (done lazily so
+    /// callers can set a fuel budget first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates uncaught traps from initializers.
+    pub fn run_clinits(&mut self) -> Result<(), VmError> {
+        for (id, class) in self.module.types.classes() {
+            let _ = id;
+            for m in &class.methods {
+                if m.name == "<clinit>" {
+                    if let Some(body) = m.body {
+                        self.call(FuncId(body), vec![]).map_err(VmError::Uncaught)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets the execution budget in instructions.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Runs static initializers and then the named function
+    /// (`"Class.method"`), returning its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Load`] for unknown entry points and
+    /// [`VmError::Uncaught`] for escaping exceptions.
+    pub fn run_entry(&mut self, name: &str) -> Result<Option<Value>, VmError> {
+        self.run_clinits()?;
+        let f = self
+            .module
+            .find_function(name)
+            .ok_or_else(|| VmError::Load(format!("no function named {name}")))?;
+        self.call(f, vec![]).map_err(VmError::Uncaught)
+    }
+
+    /// Calls a function with already-evaluated arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap if execution traps (caught by enclosing
+    /// handlers when called from inside `exec`).
+    pub fn call(&mut self, fid: FuncId, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        let module: &'m Module = self.module;
+        let f = module.function(fid);
+        let mut frame = Frame {
+            values: vec![None; f.values.len()],
+            last_block: ENTRY,
+            pending_exc: None,
+        };
+        debug_assert_eq!(args.len(), f.params.len());
+        for (i, a) in args.into_iter().enumerate() {
+            frame.values[i] = Some(a);
+        }
+        for (i, c) in f.consts.iter().enumerate() {
+            let v = self.literal(&c.lit);
+            frame.values[f.const_value(i).index()] = Some(v);
+        }
+        match self.exec(f, &mut frame, &f.body)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(None), // void fall-through (verified)
+            _ => Err(Trap::Internal("break/continue escaped function".into())),
+        }
+    }
+
+    fn literal(&mut self, lit: &Literal) -> Value {
+        match lit {
+            Literal::Bool(b) => Value::Z(*b),
+            Literal::Char(c) => Value::C(*c),
+            Literal::Int(v) => Value::I(*v),
+            Literal::Long(v) => Value::J(*v),
+            Literal::Float(v) => Value::F(*v),
+            Literal::Double(v) => Value::D(*v),
+            Literal::Null => Value::NULL,
+            Literal::Str(s) => {
+                if let Some(&r) = self.str_pool.get(s) {
+                    return Value::Ref(Some(r));
+                }
+                let r = self.heap.alloc_str(s.clone());
+                self.str_pool.insert(s.clone(), r);
+                Value::Ref(Some(r))
+            }
+        }
+    }
+
+    fn exec(&mut self, f: &Function, frame: &mut Frame, cst: &Cst) -> Result<Flow, Trap> {
+        match cst {
+            Cst::Basic(b) => {
+                self.enter_block(f, frame, *b)?;
+                Ok(Flow::Normal)
+            }
+            Cst::Seq(items) => {
+                for c in items {
+                    match self.exec(f, frame, c)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Cst::If {
+                cond,
+                then_br,
+                else_br,
+                join,
+            } => {
+                let c = frame_get(frame, *cond).as_z();
+                let flow = if c {
+                    self.exec(f, frame, then_br)?
+                } else {
+                    self.exec(f, frame, else_br)?
+                };
+                match flow {
+                    Flow::Normal => {
+                        self.enter_block(f, frame, *join)?;
+                        Ok(Flow::Normal)
+                    }
+                    other => Ok(other),
+                }
+            }
+            Cst::Loop { header, body } => loop {
+                self.enter_block(f, frame, *header)?;
+                match self.exec(f, frame, body)? {
+                    Flow::Normal => continue,
+                    Flow::Continue(0) => continue,
+                    Flow::Continue(n) => return Ok(Flow::Continue(n - 1)),
+                    Flow::Break(n) => return Ok(Flow::Break(n)),
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+            },
+            Cst::Labeled { body, join } => match self.exec(f, frame, body)? {
+                Flow::Normal | Flow::Break(0) => {
+                    self.enter_block(f, frame, *join)?;
+                    Ok(Flow::Normal)
+                }
+                Flow::Break(n) => Ok(Flow::Break(n - 1)),
+                other => Ok(other),
+            },
+            Cst::Break(n) => Ok(Flow::Break(*n)),
+            Cst::Continue(n) => Ok(Flow::Continue(*n)),
+            Cst::Return(v) => Ok(Flow::Return(v.map(|v| frame_get(frame, v)))),
+            Cst::Throw(v) => match frame_get(frame, v_copy(*v)).as_ref() {
+                None => Err(Trap::NullPointer),
+                Some(r) => Err(Trap::User(r)),
+            },
+            Cst::Try {
+                body,
+                handler_entry,
+                handler,
+                join,
+            } => match self.exec(f, frame, body) {
+                Ok(Flow::Normal) => {
+                    self.enter_block(f, frame, *join)?;
+                    Ok(Flow::Normal)
+                }
+                Ok(other) => Ok(other),
+                Err(trap) => {
+                    let exc = self.trap_to_object(trap)?;
+                    frame.pending_exc = Some(exc);
+                    self.enter_block(f, frame, *handler_entry)?;
+                    match self.exec(f, frame, handler)? {
+                        Flow::Normal => {
+                            self.enter_block(f, frame, *join)?;
+                            Ok(Flow::Normal)
+                        }
+                        other => Ok(other),
+                    }
+                }
+            },
+        }
+    }
+
+    /// Turns a trap into an exception object (allocating the implicit
+    /// runtime exception instances); internal/fuel traps propagate.
+    fn trap_to_object(&mut self, trap: Trap) -> Result<HeapRef, Trap> {
+        let class = match trap {
+            Trap::User(r) => return Ok(r),
+            Trap::DivByZero => self.exc.arithmetic,
+            Trap::NullPointer => self.exc.null_pointer,
+            Trap::IndexOutOfBounds => self.exc.index,
+            Trap::ClassCast => self.exc.cast,
+            Trap::NegativeArraySize => self.exc.negative,
+            t @ (Trap::Internal(_) | Trap::OutOfFuel) => return Err(t),
+        };
+        Ok(self.alloc_instance(class))
+    }
+
+    fn alloc_instance(&mut self, class: ClassId) -> HeapRef {
+        let fields = self.field_defaults[class.index()].clone();
+        self.heap.alloc(Obj::Instance {
+            class: class.index(),
+            fields,
+            msg: None,
+        })
+    }
+
+    /// Enters a block: parallel phi copies keyed by the dynamic
+    /// predecessor, then the straight-line instructions.
+    fn enter_block(&mut self, f: &Function, frame: &mut Frame, b: BlockId) -> Result<(), Trap> {
+        let pred = frame.last_block;
+        let block = f.block(b);
+        if !block.phis.is_empty() {
+            let mut staged = Vec::with_capacity(block.phis.len());
+            for phi in &block.phis {
+                let arg = phi
+                    .arg_from(pred)
+                    .ok_or_else(|| Trap::Internal(format!("phi in {b} has no arg from {pred}")))?;
+                staged.push(frame_get(frame, arg));
+            }
+            for (k, v) in staged.into_iter().enumerate() {
+                let result = f.phi_result(b, k);
+                frame.values[result.index()] = Some(v);
+            }
+        }
+        frame.last_block = b;
+        for (k, instr) in block.instrs.iter().enumerate() {
+            if self.fuel == 0 {
+                return Err(Trap::OutOfFuel);
+            }
+            self.fuel -= 1;
+            self.steps += 1;
+            let result = self.step(frame, instr)?;
+            if let Some(v) = result {
+                let rv = f
+                    .instr_result(b, k)
+                    .ok_or_else(|| Trap::Internal("result for result-less instr".into()))?;
+                frame.values[rv.index()] = Some(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, frame: &mut Frame, instr: &Instr) -> Result<Option<Value>, Trap> {
+        let types = &self.module.types;
+        match instr {
+            Instr::Primitive { ty, op, args } | Instr::XPrimitive { ty, op, args } => {
+                let kind = match types.kind(*ty) {
+                    TypeKind::Prim(k) => k,
+                    _ => return Err(Trap::Internal("primitive on non-prim".into())),
+                };
+                let desc = primops::resolve(kind, *op)
+                    .ok_or_else(|| Trap::Internal("unknown primop".into()))?;
+                let a: Vec<Value> = args.iter().map(|v| frame_get(frame, *v)).collect();
+                prim_eval(kind, desc.name, &a).map(Some)
+            }
+            Instr::NullCheck { value, .. } => {
+                let v = frame_get(frame, *value);
+                match v.as_ref() {
+                    None => Err(Trap::NullPointer),
+                    Some(_) => Ok(Some(v)),
+                }
+            }
+            Instr::IndexCheck { array, index, .. } => {
+                let arr = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
+                let i = frame_get(frame, *index).as_i();
+                let len = match self.heap.get(arr) {
+                    Obj::Array { data, .. } => data.len(),
+                    _ => return Err(Trap::Internal("indexcheck on non-array".into())),
+                };
+                if i < 0 || i as usize >= len {
+                    return Err(Trap::IndexOutOfBounds);
+                }
+                Ok(Some(Value::I(i)))
+            }
+            Instr::Upcast { to, value, .. } => {
+                let v = frame_get(frame, *value);
+                match v.as_ref() {
+                    None => Ok(Some(v)), // null casts succeed
+                    Some(r) => {
+                        if self.ref_is_instance_of(r, *to) {
+                            Ok(Some(v))
+                        } else {
+                            Err(Trap::ClassCast)
+                        }
+                    }
+                }
+            }
+            Instr::Downcast { value, .. } => Ok(Some(frame_get(frame, *value))),
+            Instr::GetField { object, field, .. } => {
+                let r = frame_get(frame, *object)
+                    .as_ref()
+                    .ok_or(Trap::NullPointer)?;
+                let slot = self.instance_field_slot(field)?;
+                match self.heap.get(r) {
+                    Obj::Instance { fields, .. } => Ok(Some(fields[slot])),
+                    _ => Err(Trap::Internal("getfield on non-instance".into())),
+                }
+            }
+            Instr::SetField {
+                object,
+                field,
+                value,
+                ..
+            } => {
+                let r = frame_get(frame, *object)
+                    .as_ref()
+                    .ok_or(Trap::NullPointer)?;
+                let slot = self.instance_field_slot(field)?;
+                let v = frame_get(frame, *value);
+                match self.heap.get_mut(r) {
+                    Obj::Instance { fields, .. } => {
+                        fields[slot] = v;
+                        Ok(None)
+                    }
+                    _ => Err(Trap::Internal("setfield on non-instance".into())),
+                }
+            }
+            Instr::GetStatic { field } => Ok(Some(
+                self.statics.get(field.class.index(), field.index as usize),
+            )),
+            Instr::SetStatic { field, value } => {
+                let v = frame_get(frame, *value);
+                self.statics
+                    .set(field.class.index(), field.index as usize, v);
+                Ok(None)
+            }
+            Instr::GetElt { array, index, .. } => {
+                let r = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
+                let i = frame_get(frame, *index).as_i() as usize;
+                match self.heap.get(r) {
+                    Obj::Array { data, .. } => data.get(i).map(Some),
+                    _ => Err(Trap::Internal("getelt on non-array".into())),
+                }
+            }
+            Instr::SetElt {
+                array,
+                index,
+                value,
+                ..
+            } => {
+                let r = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
+                let i = frame_get(frame, *index).as_i() as usize;
+                let v = frame_get(frame, *value);
+                match self.heap.get_mut(r) {
+                    Obj::Array { data, .. } => {
+                        data.set(i, v)?;
+                        Ok(None)
+                    }
+                    _ => Err(Trap::Internal("setelt on non-array".into())),
+                }
+            }
+            Instr::ArrayLength { array, .. } => {
+                let r = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
+                match self.heap.get(r) {
+                    Obj::Array { data, .. } => Ok(Some(Value::I(data.len() as i32))),
+                    _ => Err(Trap::Internal("arraylength on non-array".into())),
+                }
+            }
+            Instr::New { class_ty } => {
+                let class = match types.kind(*class_ty) {
+                    TypeKind::Class(c) => c,
+                    _ => return Err(Trap::Internal("new on non-class".into())),
+                };
+                let r = self.alloc_instance(class);
+                Ok(Some(Value::Ref(Some(r))))
+            }
+            Instr::NewArray { arr_ty, length } => {
+                let len = frame_get(frame, *length).as_i();
+                if len < 0 {
+                    return Err(Trap::NegativeArraySize);
+                }
+                let data = self.fresh_array_data(*arr_ty, len as usize)?;
+                let r = self.heap.alloc(Obj::Array {
+                    type_tag: arr_ty.0 as u64,
+                    data,
+                });
+                Ok(Some(Value::Ref(Some(r))))
+            }
+            Instr::XCall {
+                method,
+                receiver,
+                args,
+                ..
+            } => {
+                let recv = receiver.map(|r| frame_get(frame, r));
+                let argv: Vec<Value> = args.iter().map(|v| frame_get(frame, *v)).collect();
+                self.invoke_static_target(*method, recv, argv)
+            }
+            Instr::XDispatch {
+                method,
+                receiver,
+                args,
+                ..
+            } => {
+                let recv = frame_get(frame, *receiver);
+                let argv: Vec<Value> = args.iter().map(|v| frame_get(frame, *v)).collect();
+                self.invoke_virtual(*method, recv, argv)
+            }
+            Instr::RefEq { a, b, .. } => {
+                let x = frame_get(frame, *a).as_ref();
+                let y = frame_get(frame, *b).as_ref();
+                Ok(Some(Value::Z(x == y)))
+            }
+            Instr::InstanceOf { target, value, .. } => {
+                let v = frame_get(frame, *value);
+                let res = match v.as_ref() {
+                    None => false,
+                    Some(r) => self.ref_is_instance_of(r, *target),
+                };
+                Ok(Some(Value::Z(res)))
+            }
+            Instr::Catch { .. } => {
+                let exc = frame
+                    .pending_exc
+                    .take()
+                    .ok_or_else(|| Trap::Internal("catch without pending exception".into()))?;
+                Ok(Some(Value::Ref(Some(exc))))
+            }
+        }
+    }
+
+    fn instance_field_slot(&self, field: &safetsa_core::types::FieldRef) -> Result<usize, Trap> {
+        // Flattened slot: base of declaring class + index among its
+        // instance fields.
+        let class = field.class;
+        let c = self.module.types.class(class);
+        let before: usize = c.fields[..field.index as usize]
+            .iter()
+            .filter(|f| !f.is_static)
+            .count();
+        Ok(self.layout.field_slot(class.index(), before))
+    }
+
+    fn fresh_array_data(&self, arr_ty: TypeId, len: usize) -> Result<ArrData, Trap> {
+        let elem = self
+            .module
+            .types
+            .array_elem(arr_ty)
+            .ok_or_else(|| Trap::Internal("newarray on non-array type".into()))?;
+        Ok(match self.module.types.kind(elem) {
+            TypeKind::Prim(PrimKind::Bool) => ArrData::Z(vec![false; len]),
+            TypeKind::Prim(PrimKind::Char) => ArrData::C(vec![0; len]),
+            TypeKind::Prim(PrimKind::Int) => ArrData::I(vec![0; len]),
+            TypeKind::Prim(PrimKind::Long) => ArrData::J(vec![0; len]),
+            TypeKind::Prim(PrimKind::Float) => ArrData::F(vec![0.0; len]),
+            TypeKind::Prim(PrimKind::Double) => ArrData::D(vec![0.0; len]),
+            _ => ArrData::R(vec![None; len]),
+        })
+    }
+
+    /// `instanceof`/cast test for a heap reference against a reference
+    /// type (class or array).
+    fn ref_is_instance_of(&self, r: HeapRef, target: TypeId) -> bool {
+        let types = &self.module.types;
+        match (self.heap.get(r), types.kind(target)) {
+            (Obj::Instance { class, .. }, TypeKind::Class(t)) => {
+                types.is_subclass(ClassId(*class as u32), t)
+            }
+            (Obj::Str(_), TypeKind::Class(t)) => types.is_subclass(self.string_class, t),
+            (Obj::Array { .. }, TypeKind::Class(t)) => types.class(t).superclass.is_none(),
+            (Obj::Array { type_tag, .. }, TypeKind::Array(_)) => *type_tag == target.0 as u64,
+            _ => false,
+        }
+    }
+
+    fn invoke_static_target(
+        &mut self,
+        method: MethodRef,
+        recv: Option<Value>,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, Trap> {
+        let info = self
+            .module
+            .types
+            .method(method)
+            .ok_or_else(|| Trap::Internal("bad method ref".into()))?;
+        if let Some(body) = info.body {
+            let mut all = Vec::with_capacity(args.len() + 1);
+            if let Some(r) = recv {
+                all.push(r);
+            }
+            all.extend(args);
+            return self.call(FuncId(body), all);
+        }
+        self.invoke_intrinsic(method.class, method, recv, &args)
+    }
+
+    fn invoke_virtual(
+        &mut self,
+        method: MethodRef,
+        recv: Value,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, Trap> {
+        let info = self
+            .module
+            .types
+            .method(method)
+            .ok_or_else(|| Trap::Internal("bad method ref".into()))?;
+        let slot = info
+            .vtable_slot
+            .ok_or_else(|| Trap::Internal("xdispatch without slot".into()))?
+            as usize;
+        let r = recv.as_ref().ok_or(Trap::NullPointer)?;
+        let runtime_class = match self.heap.get(r) {
+            Obj::Instance { class, .. } => ClassId(*class as u32),
+            Obj::Str(_) => self.string_class,
+            Obj::Array { .. } => self.module.well_known.object,
+        };
+        let (impl_class, impl_idx) = self.vtables[runtime_class.index()][slot];
+        let target = MethodRef {
+            class: impl_class,
+            index: impl_idx,
+        };
+        let impl_info = self
+            .module
+            .types
+            .method(target)
+            .ok_or_else(|| Trap::Internal("bad vtable entry".into()))?;
+        if let Some(body) = impl_info.body {
+            let mut all = Vec::with_capacity(args.len() + 1);
+            all.push(recv);
+            all.extend(args);
+            return self.call(FuncId(body), all);
+        }
+        self.invoke_intrinsic(impl_class, target, Some(recv), &args)
+    }
+
+    fn invoke_intrinsic(
+        &mut self,
+        class: ClassId,
+        method: MethodRef,
+        recv: Option<Value>,
+        args: &[Value],
+    ) -> Result<Option<Value>, Trap> {
+        let types = &self.module.types;
+        let cinfo = types.class(class);
+        let minfo = types
+            .method(method)
+            .ok_or_else(|| Trap::Internal("bad method ref".into()))?;
+        let sig: String = minfo.params.iter().map(|p| sig_letter(types, *p)).collect();
+        let kind_is_static = minfo.kind == MethodKind::Static;
+        let i = intrinsics::resolve(&cinfo.name, &minfo.name, &sig).ok_or_else(|| {
+            Trap::Internal(format!(
+                "no intrinsic for {}.{}({sig})",
+                cinfo.name, minfo.name
+            ))
+        })?;
+        let recv = if kind_is_static { None } else { recv };
+        intrinsics::invoke(i, &mut self.heap, &mut self.output, recv, args)
+    }
+}
+
+fn sig_letter(types: &safetsa_core::TypeTable, ty: TypeId) -> char {
+    match types.kind(ty) {
+        TypeKind::Prim(PrimKind::Bool) => 'Z',
+        TypeKind::Prim(PrimKind::Char) => 'C',
+        TypeKind::Prim(PrimKind::Int) => 'I',
+        TypeKind::Prim(PrimKind::Long) => 'J',
+        TypeKind::Prim(PrimKind::Float) => 'F',
+        TypeKind::Prim(PrimKind::Double) => 'D',
+        _ => 'L',
+    }
+}
+
+fn default_value(types: &safetsa_core::TypeTable, ty: TypeId) -> Value {
+    match types.kind(ty) {
+        TypeKind::Prim(PrimKind::Bool) => Value::Z(false),
+        TypeKind::Prim(PrimKind::Char) => Value::C(0),
+        TypeKind::Prim(PrimKind::Int) => Value::I(0),
+        TypeKind::Prim(PrimKind::Long) => Value::J(0),
+        TypeKind::Prim(PrimKind::Float) => Value::F(0.0),
+        TypeKind::Prim(PrimKind::Double) => Value::D(0.0),
+        _ => Value::NULL,
+    }
+}
+
+fn frame_get(frame: &Frame, v: ValueId) -> Value {
+    frame.values[v.index()].expect("verified: operand dominates use")
+}
+
+fn v_copy(v: ValueId) -> ValueId {
+    v
+}
+
+/// Evaluates a primitive operation with Java semantics.
+fn prim_eval(kind: PrimKind, name: &str, a: &[Value]) -> Result<Value, Trap> {
+    use PrimKind::*;
+    Ok(match kind {
+        Bool => {
+            let x = a[0].as_z();
+            match name {
+                "not" => Value::Z(!x),
+                _ => {
+                    let y = a[1].as_z();
+                    match name {
+                        "and" => Value::Z(x & y),
+                        "or" => Value::Z(x | y),
+                        "xor" => Value::Z(x ^ y),
+                        "eq" => Value::Z(x == y),
+                        "ne" => Value::Z(x != y),
+                        _ => return Err(Trap::Internal(format!("bool op {name}"))),
+                    }
+                }
+            }
+        }
+        Char => {
+            let x = a[0].as_c();
+            match name {
+                "to_int" => Value::I(x as i32),
+                _ => {
+                    let y = a[1].as_c();
+                    match name {
+                        "eq" => Value::Z(x == y),
+                        "ne" => Value::Z(x != y),
+                        "lt" => Value::Z(x < y),
+                        "le" => Value::Z(x <= y),
+                        "gt" => Value::Z(x > y),
+                        "ge" => Value::Z(x >= y),
+                        _ => return Err(Trap::Internal(format!("char op {name}"))),
+                    }
+                }
+            }
+        }
+        Int => {
+            let x = a[0].as_i();
+            match name {
+                "neg" => Value::I(x.wrapping_neg()),
+                "not" => Value::I(!x),
+                "to_char" => Value::C(x as u16),
+                "to_long" => Value::J(x as i64),
+                "to_float" => Value::F(x as f32),
+                "to_double" => Value::D(x as f64),
+                _ => {
+                    let y = a[1].as_i();
+                    match name {
+                        "add" => Value::I(x.wrapping_add(y)),
+                        "sub" => Value::I(x.wrapping_sub(y)),
+                        "mul" => Value::I(x.wrapping_mul(y)),
+                        "div" => {
+                            if y == 0 {
+                                return Err(Trap::DivByZero);
+                            }
+                            Value::I(x.wrapping_div(y))
+                        }
+                        "rem" => {
+                            if y == 0 {
+                                return Err(Trap::DivByZero);
+                            }
+                            Value::I(x.wrapping_rem(y))
+                        }
+                        "and" => Value::I(x & y),
+                        "or" => Value::I(x | y),
+                        "xor" => Value::I(x ^ y),
+                        "shl" => Value::I(x.wrapping_shl(y as u32 & 31)),
+                        "shr" => Value::I(x.wrapping_shr(y as u32 & 31)),
+                        "ushr" => Value::I(((x as u32) >> (y as u32 & 31)) as i32),
+                        "eq" => Value::Z(x == y),
+                        "ne" => Value::Z(x != y),
+                        "lt" => Value::Z(x < y),
+                        "le" => Value::Z(x <= y),
+                        "gt" => Value::Z(x > y),
+                        "ge" => Value::Z(x >= y),
+                        _ => return Err(Trap::Internal(format!("int op {name}"))),
+                    }
+                }
+            }
+        }
+        Long => {
+            let x = a[0].as_j();
+            match name {
+                "neg" => Value::J(x.wrapping_neg()),
+                "not" => Value::J(!x),
+                "to_int" => Value::I(x as i32),
+                "to_float" => Value::F(x as f32),
+                "to_double" => Value::D(x as f64),
+                "shl" | "shr" | "ushr" => {
+                    let s = a[1].as_i() as u32 & 63;
+                    match name {
+                        "shl" => Value::J(x.wrapping_shl(s)),
+                        "shr" => Value::J(x.wrapping_shr(s)),
+                        _ => Value::J(((x as u64) >> s) as i64),
+                    }
+                }
+                _ => {
+                    let y = a[1].as_j();
+                    match name {
+                        "add" => Value::J(x.wrapping_add(y)),
+                        "sub" => Value::J(x.wrapping_sub(y)),
+                        "mul" => Value::J(x.wrapping_mul(y)),
+                        "div" => {
+                            if y == 0 {
+                                return Err(Trap::DivByZero);
+                            }
+                            Value::J(x.wrapping_div(y))
+                        }
+                        "rem" => {
+                            if y == 0 {
+                                return Err(Trap::DivByZero);
+                            }
+                            Value::J(x.wrapping_rem(y))
+                        }
+                        "and" => Value::J(x & y),
+                        "or" => Value::J(x | y),
+                        "xor" => Value::J(x ^ y),
+                        "eq" => Value::Z(x == y),
+                        "ne" => Value::Z(x != y),
+                        "lt" => Value::Z(x < y),
+                        "le" => Value::Z(x <= y),
+                        "gt" => Value::Z(x > y),
+                        "ge" => Value::Z(x >= y),
+                        _ => return Err(Trap::Internal(format!("long op {name}"))),
+                    }
+                }
+            }
+        }
+        Float => {
+            let x = a[0].as_f();
+            match name {
+                "neg" => Value::F(-x),
+                "to_int" => Value::I(x as i32),
+                "to_long" => Value::J(x as i64),
+                "to_double" => Value::D(x as f64),
+                _ => {
+                    let y = a[1].as_f();
+                    match name {
+                        "add" => Value::F(x + y),
+                        "sub" => Value::F(x - y),
+                        "mul" => Value::F(x * y),
+                        "div" => Value::F(x / y),
+                        "rem" => Value::F(x % y),
+                        "eq" => Value::Z(x == y),
+                        "ne" => Value::Z(x != y),
+                        "lt" => Value::Z(x < y),
+                        "le" => Value::Z(x <= y),
+                        "gt" => Value::Z(x > y),
+                        "ge" => Value::Z(x >= y),
+                        _ => return Err(Trap::Internal(format!("float op {name}"))),
+                    }
+                }
+            }
+        }
+        Double => {
+            let x = a[0].as_d();
+            match name {
+                "neg" => Value::D(-x),
+                "to_int" => Value::I(x as i32),
+                "to_long" => Value::J(x as i64),
+                "to_float" => Value::F(x as f32),
+                _ => {
+                    let y = a[1].as_d();
+                    match name {
+                        "add" => Value::D(x + y),
+                        "sub" => Value::D(x - y),
+                        "mul" => Value::D(x * y),
+                        "div" => Value::D(x / y),
+                        "rem" => Value::D(x % y),
+                        "eq" => Value::Z(x == y),
+                        "ne" => Value::Z(x != y),
+                        "lt" => Value::Z(x < y),
+                        "le" => Value::Z(x <= y),
+                        "gt" => Value::Z(x > y),
+                        "ge" => Value::Z(x >= y),
+                        _ => return Err(Trap::Internal(format!("double op {name}"))),
+                    }
+                }
+            }
+        }
+    })
+}

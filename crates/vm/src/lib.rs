@@ -1,0 +1,33 @@
+//! # safetsa-vm
+//!
+//! The SafeTSA code consumer: loads a verified module and executes it.
+//! The paper's consumer performs decode → verify → native code
+//! generation; this reproduction's consumer interprets the SafeTSA
+//! graph directly (the evaluation in the paper contains no JIT numbers,
+//! and interpretation suffices for the differential-correctness and
+//! representation-size experiments).
+//!
+//! The interpreter walks the Control Structure Tree; phi nodes are
+//! given parallel-copy semantics on block entry keyed by the dynamic
+//! predecessor block, exceptions follow the implicit edges to the
+//! innermost handler, and dynamic dispatch uses vtables derived (by the
+//! consumer, tamper-proof) from the type table's slot assignments.
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = safetsa_frontend::compile(
+//!     "class Main { static int main() { return 6 * 7; } }",
+//! )?;
+//! let lowered = safetsa_ssa::lower_program(&prog)?;
+//! let mut vm = safetsa_vm::Vm::load(&lowered.module)?;
+//! let result = vm.run_entry("Main.main")?;
+//! assert_eq!(result, Some(safetsa_rt::Value::I(42)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod interp;
+
+pub use interp::{Vm, VmError};

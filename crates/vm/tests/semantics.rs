@@ -1,0 +1,99 @@
+//! Java-semantics contract tests for the SafeTSA interpreter: exact
+//! wrapping, masking, saturation, and NaN behaviour (these are also
+//! covered differentially against the baseline; here they are pinned
+//! to the Java-specified values).
+
+use safetsa_frontend::compile;
+use safetsa_rt::Value;
+use safetsa_ssa::lower_program;
+use safetsa_vm::Vm;
+
+fn eval(expr_src: &str, ret_ty: &str) -> Value {
+    let src = format!("class E {{ static {ret_ty} main() {{ return {expr_src}; }} }}");
+    let prog = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let lowered = lower_program(&prog).unwrap();
+    safetsa_core::verify::verify_module(&lowered.module).unwrap();
+    let mut vm = Vm::load(&lowered.module).unwrap();
+    vm.run_entry("E.main").unwrap().unwrap()
+}
+
+#[test]
+fn int_wrapping() {
+    assert_eq!(eval("2147483647 + 1", "int"), Value::I(i32::MIN));
+    assert_eq!(eval("-2147483648 - 1", "int"), Value::I(i32::MAX));
+    assert_eq!(
+        eval("65535 * 65537", "int"),
+        Value::I(65535i64.wrapping_mul(65537) as i32)
+    );
+    assert_eq!(eval("(-2147483648) / (-1)", "int"), Value::I(i32::MIN));
+    assert_eq!(eval("(-2147483648) % (-1)", "int"), Value::I(0));
+}
+
+#[test]
+fn shift_masking() {
+    assert_eq!(eval("1 << 33", "int"), Value::I(2)); // 33 & 31 == 1
+    assert_eq!(eval("1 << -1", "int"), Value::I(i32::MIN)); // -1 & 31 == 31
+    assert_eq!(eval("1L << 65", "long"), Value::J(2)); // 65 & 63 == 1
+    assert_eq!(eval("-8 >> 1", "int"), Value::I(-4)); // arithmetic
+    assert_eq!(eval("-8 >>> 1", "int"), Value::I(0x7FFF_FFFC)); // logical
+    assert_eq!(
+        eval("-8L >>> 1", "long"),
+        Value::J(0x7FFF_FFFF_FFFF_FFFCu64 as i64)
+    );
+}
+
+#[test]
+fn float_to_int_saturation() {
+    assert_eq!(eval("(int) 1e99", "int"), Value::I(i32::MAX));
+    assert_eq!(eval("(int) -1e99", "int"), Value::I(i32::MIN));
+    assert_eq!(eval("(int) (0.0 / 0.0)", "int"), Value::I(0)); // NaN -> 0
+    assert_eq!(eval("(long) 1e99", "long"), Value::J(i64::MAX));
+    assert_eq!(eval("(long) (0.0 / 0.0)", "long"), Value::J(0));
+}
+
+#[test]
+fn char_conversions_wrap_mod_2_16() {
+    assert_eq!(eval("(int) (char) 65536", "int"), Value::I(0));
+    assert_eq!(eval("(int) (char) 65601", "int"), Value::I(65));
+    assert_eq!(eval("(int) (char) -1", "int"), Value::I(65535));
+}
+
+#[test]
+fn nan_comparison_semantics() {
+    assert_eq!(
+        eval("(0.0 / 0.0) == (0.0 / 0.0)", "boolean"),
+        Value::Z(false)
+    );
+    assert_eq!(
+        eval("(0.0 / 0.0) != (0.0 / 0.0)", "boolean"),
+        Value::Z(true)
+    );
+    assert_eq!(eval("(0.0 / 0.0) < 1.0", "boolean"), Value::Z(false));
+    assert_eq!(eval("(0.0 / 0.0) >= 1.0", "boolean"), Value::Z(false));
+    assert_eq!(eval("1.0 / 0.0 > 1e308", "boolean"), Value::Z(true));
+}
+
+#[test]
+fn integer_remainder_signs() {
+    assert_eq!(eval("7 % 3", "int"), Value::I(1));
+    assert_eq!(eval("-7 % 3", "int"), Value::I(-1)); // sign of dividend
+    assert_eq!(eval("7 % -3", "int"), Value::I(1));
+    assert_eq!(eval("-7 % -3", "int"), Value::I(-1));
+}
+
+#[test]
+fn double_remainder_ieee() {
+    assert_eq!(eval("5.5 % 2.0", "double"), Value::D(1.5));
+    assert_eq!(eval("-5.5 % 2.0", "double"), Value::D(-1.5));
+}
+
+#[test]
+fn widening_precision() {
+    // long -> double may lose precision (Java allows it implicitly).
+    assert_eq!(
+        eval("(long) (double) 9007199254740993L", "long"),
+        Value::J(9007199254740992)
+    );
+    // int -> float similar.
+    assert_eq!(eval("(int) (float) 16777217", "int"), Value::I(16777216));
+}

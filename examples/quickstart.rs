@@ -1,0 +1,75 @@
+//! Quickstart: the full SafeTSA producer → wire → consumer pipeline on
+//! a small Java program.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
+use safetsa_core::verify::verify_module;
+use safetsa_vm::Vm;
+
+const SOURCE: &str = r#"
+class Greeter {
+    String name;
+    Greeter(String name) { this.name = name; }
+    String greet(int times) {
+        String s = "";
+        for (int i = 0; i < times; i++) s = s + "hello, " + name + "! ";
+        return s;
+    }
+}
+class Main {
+    static int main() {
+        Greeter g = new Greeter("world");
+        Sys.println(g.greet(2));
+        int sum = 0;
+        for (int i = 1; i <= 10; i++) sum += i * i;
+        Sys.println("sum of squares: " + sum);
+        return sum;
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- producer side ----
+    println!("1. compile Java source to the typed HIR");
+    let prog = safetsa_frontend::compile(SOURCE)?;
+
+    println!("2. construct SafeTSA (single-pass SSA with type separation)");
+    let lowered = safetsa_ssa::lower_program(&prog)?;
+    let mut module = lowered.module;
+    println!(
+        "   {} functions, {} instructions, {} phis, {} null checks",
+        module.functions.len(),
+        module.instr_count(),
+        module.phi_count(),
+        lowered.stats.iter().map(|s| s.null_checks).sum::<usize>(),
+    );
+
+    println!("3. optimize at the producer (constprop + CSE/Mem + DCE)");
+    let stats = safetsa_opt::optimize_module(&mut module);
+    println!(
+        "   instructions {} -> {}, null checks {} -> {}",
+        stats.instrs_before, stats.instrs_after, stats.null_checks_before, stats.null_checks_after
+    );
+
+    println!("4. verify (linear, no dataflow analysis) and encode");
+    verify_module(&module)?;
+    let bytes = encode_module(&module);
+    println!("   wire size: {} bytes", bytes.len());
+
+    // ---- consumer side ----
+    println!("5. the consumer decodes (checking referential integrity");
+    println!("   symbol-by-symbol) and re-verifies");
+    let host = HostEnv::standard();
+    let decoded = decode_and_verify(&bytes, &host)?;
+
+    println!("6. execute");
+    let mut vm = Vm::load(&decoded)?;
+    let result = vm.run_entry("Main.main")?;
+    println!("--- program output ---");
+    print!("{}", vm.output.text());
+    println!("--- result: {result:?} ---");
+    Ok(())
+}

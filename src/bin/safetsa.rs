@@ -1,0 +1,206 @@
+//! The `safetsa` command-line driver.
+//!
+//! ```text
+//! safetsa compile <in.java>... -o <out.tsa> [--no-opt]   produce a module
+//! safetsa run <file.tsa|file.java> --entry Class.method  decode/verify/run
+//! safetsa dump <file.java> [--function Class.method] [--view V]
+//!     show an IR view (V: safetsa|plain|lr|planes; default safetsa)
+//! safetsa stats <file.java>                               size/check stats
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        _ => {
+            eprintln!("usage: safetsa <compile|run|dump|stats> ...");
+            eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt]");
+            eprintln!("  run <file.tsa|file.java> --entry Class.method [--fuel N]");
+            eprintln!("  dump <file.java> [--function Class.method]");
+            eprintln!("  stats <file.java>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("safetsa: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") || a == "-o" {
+            // flags with values
+            if matches!(
+                a.as_str(),
+                "-o" | "--entry" | "--function" | "--fuel" | "--view"
+            ) {
+                skip = true;
+            }
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn build_module(sources: &[&String], optimize: bool) -> Result<safetsa_core::Module, AnyError> {
+    let texts: Vec<String> = sources
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let prog = safetsa_frontend::compile_many(&refs)?;
+    let lowered = safetsa_ssa::lower_program(&prog)?;
+    let mut module = lowered.module;
+    if optimize {
+        safetsa_opt::optimize_module(&mut module);
+    }
+    safetsa_core::verify::verify_module(&module)?;
+    Ok(module)
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
+    let out = flag_value(args, "-o").ok_or("missing -o <out.tsa>")?;
+    let optimize = !args.iter().any(|a| a == "--no-opt");
+    let sources = positional(args);
+    if sources.is_empty() {
+        return Err("no input files".into());
+    }
+    let module = build_module(&sources, optimize)?;
+    let bytes = safetsa_codec::encode_module(&module);
+    std::fs::write(out, &bytes)?;
+    println!(
+        "wrote {out}: {} bytes, {} functions, {} instructions, {} phis",
+        bytes.len(),
+        module.functions.len(),
+        module.instr_count(),
+        module.phi_count()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), AnyError> {
+    let entry = flag_value(args, "--entry").ok_or("missing --entry Class.method")?;
+    let fuel: u64 = flag_value(args, "--fuel")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(1_000_000_000);
+    let files = positional(args);
+    let file = files.first().ok_or("no input file")?;
+    let module = if file.ends_with(".tsa") {
+        let bytes = std::fs::read(file.as_str())?;
+        let host = safetsa_codec::HostEnv::standard();
+        safetsa_codec::decode_and_verify(&bytes, &host)?
+    } else {
+        build_module(&files, true)?
+    };
+    let mut vm = safetsa_vm::Vm::load(&module)?;
+    vm.set_fuel(fuel);
+    let result = vm.run_entry(entry)?;
+    print!("{}", vm.output.text());
+    if let Some(v) = result {
+        println!("=> {v:?}");
+    }
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), AnyError> {
+    let files = positional(args);
+    let file = files.first().ok_or("no input file")?;
+    let module = build_module(&[file], false)?;
+    let wanted = flag_value(args, "--function");
+    let view = flag_value(args, "--view").unwrap_or("safetsa");
+    for f in &module.functions {
+        if let Some(w) = wanted {
+            if f.name != w {
+                continue;
+            }
+        }
+        println!("================ {} ================", f.name);
+        let text = match view {
+            "plain" => safetsa_core::pretty::plain_ssa(&module.types, f),
+            "lr" => safetsa_core::pretty::reference_safe(&module.types, f),
+            "planes" => safetsa_core::pretty::machine_model(&module.types, f),
+            "safetsa" => safetsa_core::pretty::safetsa(&module.types, f),
+            other => return Err(format!("unknown view `{other}`").into()),
+        };
+        print!("{text}");
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
+    let files = positional(args);
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    let texts: Vec<String> = files
+        .iter()
+        .map(|p| std::fs::read_to_string(p.as_str()).map_err(|e| format!("{p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let prog = safetsa_frontend::compile_many(&refs)?;
+    let lowered = safetsa_ssa::lower_program(&prog)?;
+    let cons = lowered.totals();
+    let mut module = lowered.module;
+    let unopt_bytes = safetsa_codec::encode_module(&module).len();
+    let unopt_instrs = module.instr_count() + module.phi_count();
+    let stats = safetsa_opt::optimize_module(&mut module);
+    let opt_bytes = safetsa_codec::encode_module(&module).len();
+    let mut bcode = safetsa_baseline::compile::compile_program(&prog);
+    safetsa_baseline::verify::verify_program(&prog, &mut bcode)?;
+    let class_bytes = safetsa_baseline::classfile::total_size(&prog, &bcode);
+    println!(
+        "Java bytecode : {:>7} instructions, {:>8} bytes",
+        bcode.instr_count(),
+        class_bytes
+    );
+    println!(
+        "SafeTSA       : {:>7} instructions, {:>8} bytes",
+        unopt_instrs, unopt_bytes
+    );
+    println!(
+        "SafeTSA (opt) : {:>7} instructions, {:>8} bytes",
+        module.instr_count() + module.phi_count(),
+        opt_bytes
+    );
+    println!(
+        "checks        : null {} -> {}, bounds {} -> {}",
+        stats.null_checks_before,
+        stats.null_checks_after,
+        stats.index_checks_before,
+        stats.index_checks_after
+    );
+    println!(
+        "construction  : {} phis placed ({} naive candidates avoided)",
+        cons.phis_inserted,
+        cons.phis_candidate - cons.phis_inserted
+    );
+    Ok(())
+}

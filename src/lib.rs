@@ -1,0 +1,21 @@
+//! # safetsa
+//!
+//! Umbrella crate for the SafeTSA reproduction (PLDI 2001): re-exports
+//! every stage of the pipeline and hosts the `safetsa` CLI, the
+//! examples, and the cross-crate integration tests.
+//!
+//! Start with [`frontend::compile`] → [`ssa::lower_program`] →
+//! [`opt::optimize_module`] → [`codec::encode_module`] →
+//! [`codec::decode_and_verify`] → [`vm::Vm`]. See the README for the
+//! full tour.
+
+#![warn(missing_docs)]
+
+pub use safetsa_baseline as baseline;
+pub use safetsa_codec as codec;
+pub use safetsa_core as core;
+pub use safetsa_frontend as frontend;
+pub use safetsa_opt as opt;
+pub use safetsa_rt as rt;
+pub use safetsa_ssa as ssa;
+pub use safetsa_vm as vm;

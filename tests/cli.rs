@@ -1,0 +1,130 @@
+//! End-to-end tests for the `safetsa` CLI binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_safetsa"))
+}
+
+#[test]
+fn compile_and_run_round_trip() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("Prog.java");
+    let out = dir.join("prog.tsa");
+    std::fs::write(
+        &src,
+        r#"class Prog {
+               static int main() {
+                   int s = 0;
+                   for (int i = 1; i <= 4; i++) s += i * i;
+                   Sys.println("s=" + s);
+                   return s;
+               }
+           }"#,
+    )
+    .unwrap();
+    let st = cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        st.status.success(),
+        "{}",
+        String::from_utf8_lossy(&st.stderr)
+    );
+    assert!(out.exists());
+
+    let run = cli()
+        .args(["run", out.to_str().unwrap(), "--entry", "Prog.main"])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("s=30"), "{stdout}");
+    assert!(stdout.contains("=> I(30)"), "{stdout}");
+}
+
+#[test]
+fn run_directly_from_source() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("Direct.java");
+    std::fs::write(&src, "class Direct { static int go() { return 6 * 7; } }").unwrap();
+    let run = cli()
+        .args(["run", src.to_str().unwrap(), "--entry", "Direct.go"])
+        .output()
+        .unwrap();
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(String::from_utf8_lossy(&run.stdout).contains("=> I(42)"));
+}
+
+#[test]
+fn stats_and_dump() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("S.java");
+    std::fs::write(
+        &src,
+        "class S { int v; static int f(S s) { return s.v + s.v; } }",
+    )
+    .unwrap();
+    let stats = cli()
+        .args(["stats", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("SafeTSA"), "{text}");
+    assert!(text.contains("checks"), "{text}");
+
+    let dump = cli()
+        .args(["dump", src.to_str().unwrap(), "--function", "S.f"])
+        .output()
+        .unwrap();
+    assert!(dump.status.success());
+    let text = String::from_utf8_lossy(&dump.stdout);
+    assert!(text.contains("nullcheck"), "{text}");
+    assert!(text.contains("getfield"), "{text}");
+}
+
+#[test]
+fn compile_error_reported_cleanly() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("Bad.java");
+    std::fs::write(&src, "class Bad { int f() { return x; } }").unwrap();
+    let out = dir.join("bad.tsa");
+    let st = cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+    let err = String::from_utf8_lossy(&st.stderr);
+    assert!(err.contains("unknown name"), "{err}");
+}
+
+#[test]
+fn usage_on_no_args() {
+    let st = cli().output().unwrap();
+    assert!(!st.status.success());
+    assert!(String::from_utf8_lossy(&st.stderr).contains("usage"));
+}

@@ -1,0 +1,86 @@
+//! Golden-structure checks for the paper-figure renderings: the views
+//! must exhibit the properties the figures illustrate (not a brittle
+//! byte-for-byte snapshot — the properties themselves are asserted).
+
+use safetsa_core::pretty;
+
+fn fig1_function() -> (safetsa_core::TypeTable, safetsa_core::Function) {
+    let prog = safetsa_frontend::compile(
+        "class F { static int f(int i, int j) {
+             if (i < j) { i = i + 1; } else { j = 2 * j; }
+             return i * j;
+         } }",
+    )
+    .unwrap();
+    let lowered = safetsa_ssa::lower_program(&prog).unwrap();
+    let m = lowered.module;
+    let f = m.function(m.find_function("F.f").unwrap()).clone();
+    (m.types, f)
+}
+
+#[test]
+fn plain_ssa_uses_consecutive_global_numbers() {
+    let (types, f) = fig1_function();
+    let s = pretty::plain_ssa(&types, &f);
+    // Figure 1 property: values are numbered consecutively and operands
+    // cite those numbers.
+    assert!(s.contains("0 <- param 0"), "{s}");
+    assert!(s.contains("1 <- param 1"), "{s}");
+    assert!(s.contains("int.lt (0) (1)"), "{s}");
+    assert!(s.contains("phi"), "{s}");
+}
+
+#[test]
+fn reference_safe_uses_lr_pairs_only() {
+    let (types, f) = fig1_function();
+    let s = pretty::reference_safe(&types, &f);
+    // Figure 2 property: every operand is an (l-r) pair.
+    assert!(s.contains("int.lt (0-0) (0-1)"), "{s}");
+    // Branch blocks reference the entry one dominator level up.
+    assert!(s.contains("(1-"), "{s}");
+}
+
+#[test]
+fn safetsa_view_restarts_numbering_per_plane() {
+    let (types, f) = fig1_function();
+    let s = pretty::safetsa(&types, &f);
+    // Figure 4 property: the boolean comparison lands in register 0 of
+    // the *boolean* plane even though int registers already exist.
+    assert!(s.contains("boolean[0] <- int.lt"), "{s}");
+    // Phi results land on the int plane starting at 0 in their block.
+    assert!(s.contains("int[0] <- phi"), "{s}");
+}
+
+#[test]
+fn machine_model_lists_per_type_planes() {
+    let (types, f) = fig1_function();
+    let s = pretty::machine_model(&types, &f);
+    // Figure 3 property: separate register planes per type.
+    assert!(s.contains("plane int"), "{s}");
+    assert!(s.contains("plane boolean"), "{s}");
+    assert!(s.contains("r0=param 0"), "{s}");
+}
+
+#[test]
+fn appendix_loop_shows_safe_index_plane() {
+    let prog = safetsa_frontend::compile(
+        "class F { static int sum(int[] a, int n) {
+             int s = 0;
+             for (int i = 0; i < n; i++) s += a[i];
+             return s;
+         } }",
+    )
+    .unwrap();
+    let lowered = safetsa_ssa::lower_program(&prog).unwrap();
+    let m = lowered.module;
+    let f = m.function(m.find_function("F.sum").unwrap());
+    let s = pretty::safetsa(&m.types, f);
+    // Figures 7-9 property: safe-ref and safe-index planes appear.
+    assert!(s.contains("safe-int[]"), "{s}");
+    assert!(
+        s.contains("safe-index-int[]") || s.contains("indexcheck int[]"),
+        "{s}"
+    );
+    assert!(s.contains("nullcheck int[]"), "{s}");
+    assert!(s.contains("getelt"), "{s}");
+}

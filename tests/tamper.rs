@@ -1,0 +1,59 @@
+//! Property-based tamper resistance: arbitrary byte streams and
+//! arbitrary mutations of valid streams must never panic the decoder
+//! and must never yield a module that fails the full verifier (i.e.
+//! `decode_and_verify` is total and its successes are always safe).
+
+use proptest::prelude::*;
+use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
+
+fn wire_for(src: &str) -> Vec<u8> {
+    let prog = safetsa_frontend::compile(src).unwrap();
+    let lowered = safetsa_ssa::lower_program(&prog).unwrap();
+    encode_module(&lowered.module)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let host = HostEnv::standard();
+        // Either error or a verified module — never a panic, never an
+        // accepted-but-unsafe module (verification runs inside).
+        let _ = decode_and_verify(&bytes, &host);
+    }
+
+    #[test]
+    fn mutations_of_valid_streams_never_panic(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..6)
+    ) {
+        let base = wire_for(
+            "class Acc { int t; void add(int x) { t += x; } }
+             class M { static int main() {
+                 Acc a = new Acc();
+                 int[] v = new int[5];
+                 for (int i = 0; i < v.length; i++) { v[i] = i * i; a.add(v[i]); }
+                 return a.t;
+             } }",
+        );
+        let host = HostEnv::standard();
+        let mut evil = base.clone();
+        for (pos, val) in flips {
+            let i = pos as usize % evil.len();
+            evil[i] ^= val;
+        }
+        if let Ok(module) = decode_and_verify(&evil, &host) {
+            // Accepted mutants are verified type-safe programs; loading
+            // them must also never panic.
+            let _ = safetsa_vm::Vm::load(&module);
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic(cut in 0usize..1000) {
+        let base = wire_for("class M { static int main() { return 41 + 1; } }");
+        let host = HostEnv::standard();
+        let cut = cut % (base.len() + 1);
+        let _ = decode_and_verify(&base[..cut], &host);
+    }
+}
