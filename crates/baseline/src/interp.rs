@@ -263,6 +263,8 @@ impl<'p> Bvm<'p> {
             Trap::IndexOutOfBounds => self.prog.index_exception,
             Trap::ClassCast => self.prog.cast_exception,
             Trap::NegativeArraySize => self.prog.negative_size_exception,
+            Trap::OutOfMemory => self.prog.oom_error,
+            Trap::StackOverflow => self.prog.stack_overflow_error,
             Trap::User(_) => return None, // class read from the object
             Trap::Internal(_) | Trap::OutOfFuel => return None,
         })

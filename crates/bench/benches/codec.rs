@@ -16,7 +16,7 @@ fn bench_codec(c: &mut Criterion) {
     g.bench_function("encode", |b| {
         b.iter(|| {
             for pl in &pipelines {
-                black_box(encode_module(&pl.module));
+                black_box(encode_module(&pl.module).unwrap());
             }
         })
     });

@@ -45,7 +45,7 @@ fn bench_pipeline(c: &mut Criterion) {
     g.bench_function("encode", |b| {
         b.iter(|| {
             for m in &modules {
-                black_box(encode_module(m));
+                black_box(encode_module(m).unwrap());
             }
         })
     });

@@ -135,8 +135,10 @@ pub fn build_pipeline(entry: &CorpusEntry) -> Pipeline {
     let mut optimized = module.clone();
     optimize_module_with(&mut optimized, Passes::ALL);
     verify_module(&optimized).unwrap_or_else(|e| panic!("{}: verify optimized: {e}", entry.name));
-    let bytes = encode_module(&module);
-    let opt_bytes = encode_module(&optimized);
+    let bytes =
+        encode_module(&module).unwrap_or_else(|e| panic!("{}: encode: {e}", entry.name));
+    let opt_bytes =
+        encode_module(&optimized).unwrap_or_else(|e| panic!("{}: encode optimized: {e}", entry.name));
     let mut bcode = bcompile::compile_program(&prog);
     bverify::verify_program(&prog, &mut bcode)
         .unwrap_or_else(|e| panic!("{}: bytecode verify: {e}", entry.name));
@@ -167,9 +169,11 @@ pub fn measure(entry: &CorpusEntry) -> Measurement {
     verify_module(&optimized).unwrap_or_else(|e| panic!("{}: verify optimized: {e}", entry.name));
     // Wire sizes round-trip through the decoder as a sanity check.
     let host = HostEnv::standard();
-    let bytes = encode_module(&module);
+    let bytes =
+        encode_module(&module).unwrap_or_else(|e| panic!("{}: encode: {e}", entry.name));
     decode_and_verify(&bytes, &host).unwrap_or_else(|e| panic!("{}: decode: {e}", entry.name));
-    let opt_bytes = encode_module(&optimized);
+    let opt_bytes =
+        encode_module(&optimized).unwrap_or_else(|e| panic!("{}: encode optimized: {e}", entry.name));
     decode_and_verify(&opt_bytes, &host)
         .unwrap_or_else(|e| panic!("{}: decode optimized: {e}", entry.name));
     // Baseline.

@@ -29,7 +29,7 @@
 //!     "class M { static int main() { return 7 * 6; } }",
 //! )?;
 //! let lowered = safetsa_ssa::lower_program(&prog)?;
-//! let bytes = encode_module(&lowered.module);
+//! let bytes = encode_module(&lowered.module)?;
 //! let host = HostEnv::standard();
 //! let decoded = decode_and_verify(&bytes, &host)?;
 //! assert!(decoded.find_function("M.main").is_some());
@@ -47,7 +47,7 @@ pub mod refs;
 
 pub use bits::DecodeError;
 pub use dec::{decode_and_verify, decode_module, HostEnv};
-pub use enc::encode_module;
+pub use enc::{encode_module, EncodeError};
 
 impl HostEnv {
     /// The standard host environment: the same implicit classes the

@@ -10,6 +10,7 @@
 //! space-efficiently").
 
 use crate::bits::{BitReader, BitWriter, DecodeError};
+use crate::enc::EncodeError;
 use safetsa_core::dom::DomTree;
 use safetsa_core::function::{Function, ENTRY};
 use safetsa_core::types::{PrimKind, TypeId, TypeKind, TypeTable};
@@ -56,10 +57,11 @@ pub fn visible(f: &Function, d: BlockId, plane: TypeId, limit: Option<usize>) ->
 /// Encodes a reference to `v` (on `plane`) made from block `b` with the
 /// given same-block instruction `limit`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `v` does not dominate the use (an encoder bug — the
-/// verifier ran before encoding).
+/// Returns [`EncodeError`] if `v` does not dominate the use or is not
+/// visible on `plane` — the properties the `(l, r)` coding cannot
+/// express, so the encoder refuses rather than emitting garbage.
 pub fn write_ref(
     w: &mut BitWriter,
     f: &Function,
@@ -68,11 +70,11 @@ pub fn write_ref(
     limit: Option<usize>,
     plane: TypeId,
     v: ValueId,
-) {
+) -> Result<(), EncodeError> {
     let d = f.value(v).block;
     let l = dom
         .level_distance(d, b)
-        .unwrap_or_else(|| panic!("operand {v} does not dominate {b}"));
+        .ok_or(EncodeError::OperandNotDominating { value: v, block: b })?;
     let depth = dom.depth[b.index()];
     w.symbol(l, depth + 1);
     let lim = if l == 0 { limit } else { None };
@@ -80,8 +82,9 @@ pub fn write_ref(
     let r = vis
         .iter()
         .position(|&x| x == v)
-        .unwrap_or_else(|| panic!("operand {v} not visible on its plane"));
+        .ok_or(EncodeError::OperandNotVisible { value: v, block: b })?;
     w.symbol(r as u32, vis.len() as u32);
+    Ok(())
 }
 
 /// Decodes a reference made from block `b` on `plane`.

@@ -11,7 +11,7 @@ fn encode(src: &str) -> (safetsa_core::Module, Vec<u8>) {
     let prog = compile(src).expect("front-end");
     let lowered = lower_program(&prog).expect("lowering");
     verify_module(&lowered.module).expect("verifies");
-    let bytes = encode_module(&lowered.module);
+    let bytes = encode_module(&lowered.module).expect("encodes");
     (lowered.module, bytes)
 }
 
@@ -38,7 +38,7 @@ fn round_trip(src: &str, entry: &str) {
     }
     // Re-encoding the decoded module reproduces the byte stream
     // (canonical form).
-    let bytes2 = encode_module(&decoded);
+    let bytes2 = encode_module(&decoded).expect("encodes");
     assert_eq!(bytes, bytes2, "re-encoding is not canonical");
 }
 
@@ -136,7 +136,7 @@ fn optimized_module_round_trips() {
     let mut module = lowered.module;
     safetsa_opt::optimize_module(&mut module);
     verify_module(&module).unwrap();
-    let bytes = encode_module(&module);
+    let bytes = encode_module(&module).expect("encodes");
     let host = HostEnv::standard();
     let decoded = decode_and_verify(&bytes, &host).expect("optimized module decodes");
     // The transported program retains the optimization: check counts

@@ -1,0 +1,151 @@
+//! A self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of the criterion API its benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, `finish`, [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a plain
+//! mean over the sampled iterations — good enough to compare the
+//! workspace's engines against each other, not a statistics suite.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported per second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            samples: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.samples as u64,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_ns / b.iters.max(1);
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                ", {:.1} MiB/s",
+                n as f64 / (per_iter.max(1) as f64 / 1e9) / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => format!(
+                ", {:.0} elem/s",
+                n as f64 / (per_iter.max(1) as f64 / 1e9)
+            ),
+        });
+        println!(
+            "  {name}: {per_iter} ns/iter ({} iters{})",
+            b.iters,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` once per sample, accumulating wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Declares a function that runs the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(8));
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -26,7 +26,9 @@ fn m(name: &str, kind: MethodKind, params: Vec<Ty>, ret: Ty, intrinsic: Intrinsi
 /// `Object`, `String`, `Throwable`, `Exception`, `RuntimeException`,
 /// `ArithmeticException`, `NullPointerException`,
 /// `IndexOutOfBoundsException`, `ClassCastException`,
-/// `NegativeArraySizeException`, `Math`, `Sys`.
+/// `NegativeArraySizeException`, `Math`, `Sys`, `Error`,
+/// `OutOfMemoryError`, `StackOverflowError` (the error hierarchy is
+/// appended after `Sys` so the pre-existing indices stay stable).
 pub fn install(classes: &mut Vec<Class>) -> Program {
     use Intrinsic::*;
     use MethodKind::*;
@@ -293,6 +295,13 @@ pub fn install(classes: &mut Vec<Class>) -> Program {
         is_builtin: true,
     });
 
+    // The error hierarchy of the resource-exhaustion traps. Java keeps
+    // these outside `Exception` so a `catch (Exception e)` cannot
+    // swallow them; catching them explicitly is still allowed.
+    let error = exc_class(classes, "Error", throwable);
+    let oom_error = exc_class(classes, "OutOfMemoryError", error);
+    let stack_overflow_error = exc_class(classes, "StackOverflowError", error);
+
     Program {
         classes: Vec::new(), // filled by the caller
         object,
@@ -304,5 +313,8 @@ pub fn install(classes: &mut Vec<Class>) -> Program {
         index_exception,
         cast_exception,
         negative_size_exception,
+        error,
+        oom_error,
+        stack_overflow_error,
     }
 }

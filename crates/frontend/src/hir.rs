@@ -596,6 +596,12 @@ pub struct Program {
     pub cast_exception: ClassIdx,
     /// `NegativeArraySizeException`.
     pub negative_size_exception: ClassIdx,
+    /// `Error` (supertype of the resource-exhaustion errors).
+    pub error: ClassIdx,
+    /// `OutOfMemoryError` (heap byte budget exceeded).
+    pub oom_error: ClassIdx,
+    /// `StackOverflowError` (call depth budget exceeded).
+    pub stack_overflow_error: ClassIdx,
 }
 
 impl Program {

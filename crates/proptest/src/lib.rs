@@ -1,0 +1,437 @@
+//! A self-contained stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of the proptest API its property
+//! tests actually use: the [`proptest!`] macro, [`strategy::Strategy`]
+//! with `prop_map`/`prop_recursive`/`boxed`, [`prop_oneof!`],
+//! [`strategy::Just`], integer-range and tuple strategies,
+//! [`collection::vec`], `any::<T>()` for the integer primitives, and a
+//! printable-string strategy for `&str` patterns.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * cases are generated from a fixed deterministic seed (per test
+//!   name + case index), so runs are reproducible but not persisted —
+//!   `.proptest-regressions` files are ignored;
+//! * there is no shrinking: a failing case reports its inputs via the
+//!   ordinary panic message of the failed assertion;
+//! * `&str` strategies ignore the concrete regex and produce arbitrary
+//!   printable (non-control) strings, which satisfies the `"\\PC*"`
+//!   patterns used in this workspace.
+
+pub mod test_runner {
+    /// Per-test configuration (only the case count is honoured).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeding every test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator. Unlike real proptest there is no value tree:
+    /// strategies produce final values directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+
+        /// Recursive strategy: expands `self` (the leaf) through
+        /// `recurse` up to `depth` times. `desired_size` and
+        /// `expected_branch_size` are accepted for API compatibility
+        /// and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                cur = one_of(vec![leaf.clone(), recurse(cur).boxed()]);
+            }
+            cur
+        }
+    }
+
+    /// A type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (what [`prop_oneof!`]
+    /// expands to).
+    pub fn one_of<T: 'static>(alts: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!alts.is_empty(), "one_of needs at least one alternative");
+        OneOf { alts }.boxed()
+    }
+
+    struct OneOf<T> {
+        alts: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.alts.len() as u64) as usize;
+            self.alts[i].generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Full-range strategy backing `any::<T>()`.
+    #[derive(Clone, Debug)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident: $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+    /// `&str` patterns act as string strategies. The concrete regex is
+    /// ignored; arbitrary printable (non-control) strings are produced,
+    /// which covers the `"\\PC*"` patterns used in this workspace.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.below(120) as usize;
+            (0..len)
+                .map(|_| match rng.below(10) {
+                    // Mostly ASCII printable, occasionally wider chars.
+                    0..=7 => char::from(32 + rng.below(95) as u8),
+                    8 => char::from_u32(0xA1 + rng.below(0xFF) as u32).unwrap_or('¿'),
+                    _ => char::from_u32(0x4E00 + rng.below(0x100) as u32).unwrap_or('块'),
+                })
+                .collect()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for vectors whose length is drawn from `len` and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Full-range strategy for a primitive type.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any::default()
+}
+
+pub mod prelude {
+    //! The usual glob-import surface.
+    pub use crate::any;
+    pub use crate::prop_assert;
+    pub use crate::prop_assert_eq;
+    pub use crate::prop_oneof;
+    pub use crate::proptest;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+}
+
+/// Asserts a condition inside a property (plain `assert!` here — there
+/// is no shrinking phase to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` runs
+/// `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                for case in 0..u64::from(cfg.cases) {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-100i32..100), &mut rng);
+            assert!((-100..100).contains(&v));
+            let u = Strategy::generate(&(1u8..4), &mut rng);
+            assert!((1..4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::for_case("vecs", 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![Just(1i32), (10i32..20).prop_map(|x| x * 2)];
+        let mut rng = TestRng::for_case("compose", 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v == 1 || (20..40).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(x in 0usize..10, s in "\\PC*") {
+            prop_assert!(x < 10);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

@@ -28,6 +28,16 @@ pub enum ArrData {
 }
 
 impl ArrData {
+    /// The per-element storage width in bytes of this array's kind.
+    pub fn elem_width(&self) -> u64 {
+        match self {
+            ArrData::Z(_) => 1,
+            ArrData::C(_) => 2,
+            ArrData::I(_) | ArrData::F(_) => 4,
+            ArrData::J(_) | ArrData::D(_) | ArrData::R(_) => 8,
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         match self {
@@ -114,11 +124,45 @@ pub enum Obj {
     Str(Rc<str>),
 }
 
+/// Fixed per-object byte overhead of the size model (a stand-in for a
+/// real VM's object header).
+pub const OBJ_HEADER_BYTES: u64 = 16;
+
+/// The modelled byte cost of an array of `len` elements each
+/// `elem_width` bytes wide (saturating, so hostile lengths cannot
+/// overflow the accounting itself).
+pub fn array_size_bytes(elem_width: u64, len: u64) -> u64 {
+    OBJ_HEADER_BYTES.saturating_add(elem_width.saturating_mul(len))
+}
+
+impl Obj {
+    /// The modelled byte cost of this object: a fixed header plus the
+    /// payload (8 bytes per instance field, the element width for
+    /// arrays, the UTF-8 length for strings).
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Obj::Instance { fields, .. } => {
+                OBJ_HEADER_BYTES.saturating_add(8u64.saturating_mul(fields.len() as u64))
+            }
+            Obj::Array { data, .. } => array_size_bytes(data.elem_width(), data.len() as u64),
+            Obj::Str(s) => OBJ_HEADER_BYTES.saturating_add(s.len() as u64),
+        }
+    }
+}
+
 /// The heap: a growable object store (no GC — the workloads are
-/// bounded; a real system would plug a collector in here).
+/// bounded; a real system would plug a collector in here). Every
+/// allocation is accounted in bytes against an optional budget; the
+/// budgeted entry points ([`Heap::try_alloc`], [`Heap::try_alloc_str`],
+/// [`Heap::try_reserve`]) turn exhaustion into [`Trap::OutOfMemory`],
+/// while the infallible ones ([`Heap::alloc`], [`Heap::alloc_str`]) are
+/// reserved for host-side allocations (e.g. the trap exception objects
+/// themselves) and still account their bytes.
 #[derive(Debug, Clone, Default)]
 pub struct Heap {
     objects: Vec<Obj>,
+    bytes: u64,
+    budget: Option<u64>,
 }
 
 impl Heap {
@@ -137,14 +181,67 @@ impl Heap {
         self.objects.is_empty()
     }
 
-    /// Allocates an object.
+    /// Total modelled bytes allocated so far (cumulative — there is no
+    /// collector, so this is also the live size).
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Sets (or clears) the allocation byte budget. Already-allocated
+    /// bytes count against it.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// The configured byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Checks that `extra` more bytes would fit in the budget without
+    /// committing anything. Callers use this to reject oversized
+    /// allocations *before* constructing their payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] when the budget would be exceeded.
+    pub fn try_reserve(&self, extra: u64) -> Result<(), Trap> {
+        match self.budget {
+            Some(b) if self.bytes.saturating_add(extra) > b => Err(Trap::OutOfMemory),
+            _ => Ok(()),
+        }
+    }
+
+    /// Allocates an object against the byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] when the budget would be exceeded
+    /// (the object is dropped and the heap is unchanged).
+    pub fn try_alloc(&mut self, obj: Obj) -> Result<HeapRef, Trap> {
+        self.try_reserve(obj.size_bytes())?;
+        Ok(self.alloc(obj))
+    }
+
+    /// Allocates a string against the byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] when the budget would be exceeded.
+    pub fn try_alloc_str(&mut self, s: impl Into<Rc<str>>) -> Result<HeapRef, Trap> {
+        self.try_alloc(Obj::Str(s.into()))
+    }
+
+    /// Allocates an object unconditionally (host-reserved path: ignores
+    /// the budget but still accounts the bytes).
     pub fn alloc(&mut self, obj: Obj) -> HeapRef {
+        self.bytes = self.bytes.saturating_add(obj.size_bytes());
         let r = HeapRef(self.objects.len() as u32);
         self.objects.push(obj);
         r
     }
 
-    /// Allocates a string.
+    /// Allocates a string unconditionally (host-reserved path).
     pub fn alloc_str(&mut self, s: impl Into<Rc<str>>) -> HeapRef {
         self.alloc(Obj::Str(s.into()))
     }
@@ -218,6 +315,51 @@ mod tests {
     fn array_kind_mismatch_is_internal() {
         let mut d = ArrData::I(vec![0]);
         assert!(matches!(d.set(0, Value::Z(true)), Err(Trap::Internal(_))));
+    }
+
+    #[test]
+    fn byte_accounting_and_budget() {
+        let mut h = Heap::new();
+        assert_eq!(h.bytes_allocated(), 0);
+        h.alloc_str("hi"); // 16 + 2
+        assert_eq!(h.bytes_allocated(), 18);
+        h.alloc(Obj::Array {
+            type_tag: 0,
+            data: ArrData::I(vec![0; 4]), // 16 + 4*4
+        });
+        assert_eq!(h.bytes_allocated(), 50);
+
+        h.set_budget(Some(66));
+        // 16 + 8*1 = 24 would exceed 66.
+        let r = h.try_alloc(Obj::Instance {
+            class: 0,
+            fields: vec![Value::I(0)],
+            msg: None,
+        });
+        assert_eq!(r, Err(Trap::OutOfMemory));
+        assert_eq!(h.bytes_allocated(), 50, "failed alloc must not account");
+        // An empty instance (16 bytes) still fits.
+        assert!(h
+            .try_alloc(Obj::Instance {
+                class: 0,
+                fields: vec![],
+                msg: None,
+            })
+            .is_ok());
+        assert_eq!(h.bytes_allocated(), 66);
+        // The unbudgeted path ignores the (now exhausted) budget.
+        assert_eq!(h.try_reserve(1), Err(Trap::OutOfMemory));
+        h.alloc_str("overflow is allowed on the host path");
+        assert!(h.bytes_allocated() > 66);
+    }
+
+    #[test]
+    fn array_size_projection_matches_obj_size() {
+        let data = ArrData::D(vec![0.0; 7]);
+        let projected = array_size_bytes(data.elem_width(), 7);
+        let obj = Obj::Array { type_tag: 0, data };
+        assert_eq!(obj.size_bytes(), projected);
+        assert_eq!(projected, 16 + 8 * 7);
     }
 
     #[test]

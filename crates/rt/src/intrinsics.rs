@@ -262,7 +262,7 @@ pub fn invoke(
             let a = heap.str(r)?.clone();
             let b = str_of(heap, args[0])?;
             let joined: String = format!("{a}{b}");
-            Some(Value::Ref(Some(heap.alloc_str(joined))))
+            Some(Value::Ref(Some(heap.try_alloc_str(joined)?)))
         }
         StrEquals => {
             let r = recv_ref()?;
@@ -311,22 +311,22 @@ pub fn invoke(
                 return Err(Trap::IndexOutOfBounds);
             }
             let sub = String::from_utf16_lossy(&units[b as usize..e as usize]);
-            Some(Value::Ref(Some(heap.alloc_str(sub))))
+            Some(Value::Ref(Some(heap.try_alloc_str(sub)?)))
         }
         StrValueOfI => Some(Value::Ref(Some(
-            heap.alloc_str(format::fmt_int(args[0].as_i())),
+            heap.try_alloc_str(format::fmt_int(args[0].as_i()))?,
         ))),
         StrValueOfL => Some(Value::Ref(Some(
-            heap.alloc_str(format::fmt_long(args[0].as_j())),
+            heap.try_alloc_str(format::fmt_long(args[0].as_j()))?,
         ))),
         StrValueOfD => Some(Value::Ref(Some(
-            heap.alloc_str(format::fmt_double(args[0].as_d())),
+            heap.try_alloc_str(format::fmt_double(args[0].as_d()))?,
         ))),
         StrValueOfC => Some(Value::Ref(Some(
-            heap.alloc_str(format::fmt_char(args[0].as_c())),
+            heap.try_alloc_str(format::fmt_char(args[0].as_c()))?,
         ))),
         StrValueOfB => Some(Value::Ref(Some(
-            heap.alloc_str(format::fmt_bool(args[0].as_z())),
+            heap.try_alloc_str(format::fmt_bool(args[0].as_z()))?,
         ))),
     })
 }

@@ -40,6 +40,13 @@ pub enum Trap {
     /// Execution exceeded the configured step budget (guards tests
     /// against accidental infinite loops).
     OutOfFuel,
+    /// An allocation exceeded the configured heap byte budget; the
+    /// engines map this to `OutOfMemoryError`, so governed code can
+    /// catch it like real Java.
+    OutOfMemory,
+    /// The call depth exceeded the configured stack budget; mapped to
+    /// `StackOverflowError`.
+    StackOverflow,
 }
 
 impl std::fmt::Display for Trap {
@@ -53,6 +60,8 @@ impl std::fmt::Display for Trap {
             Trap::User(r) => write!(f, "user exception at {r:?}"),
             Trap::Internal(s) => write!(f, "internal: {s}"),
             Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::OutOfMemory => write!(f, "out of memory"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
         }
     }
 }

@@ -13,13 +13,23 @@ use safetsa_rt::{intrinsics, Heap, HeapRef, Output, Trap, Value};
 use std::collections::HashMap;
 use std::fmt;
 
-/// A VM-level failure: loading problems or uncaught traps.
+/// A VM-level failure: loading problems, uncaught traps, or an
+/// exhausted non-catchable budget.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VmError {
     /// The module referenced a host class/method the VM does not know.
     Load(String),
     /// Execution trapped and no handler caught it.
     Uncaught(Trap),
+    /// The instruction budget ran out. Unlike the heap and depth
+    /// budgets, fuel exhaustion is not catchable by governed code (a
+    /// handler would itself need fuel), so it surfaces as its own
+    /// variant rather than an exception object.
+    FuelExhausted,
+    /// The VM detected an internal inconsistency — never expected for
+    /// verified modules; reported instead of panicking so embedders
+    /// stay in control.
+    Internal(String),
 }
 
 impl fmt::Display for VmError {
@@ -27,11 +37,44 @@ impl fmt::Display for VmError {
         match self {
             VmError::Load(s) => write!(f, "load error: {s}"),
             VmError::Uncaught(t) => write!(f, "uncaught exception: {t}"),
+            VmError::FuelExhausted => write!(f, "fuel exhausted"),
+            VmError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
 }
 
 impl std::error::Error for VmError {}
+
+fn vm_err(t: Trap) -> VmError {
+    match t {
+        Trap::OutOfFuel => VmError::FuelExhausted,
+        Trap::Internal(s) => VmError::Internal(s),
+        t => VmError::Uncaught(t),
+    }
+}
+
+/// Resource budgets governing one VM. `None`/`Default` means
+/// unlimited. Heap and depth exhaustion become catchable
+/// `OutOfMemoryError`/`StackOverflowError` exceptions inside governed
+/// code; fuel exhaustion aborts the entry point with
+/// [`VmError::FuelExhausted`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Instruction budget; each executed instruction costs one unit.
+    pub fuel: Option<u64>,
+    /// Heap budget in modelled bytes (see `safetsa_rt::heap`'s size
+    /// model: 16-byte headers, 8 bytes per field/reference).
+    pub max_heap_bytes: Option<u64>,
+    /// Maximum guest call depth (each active `call` counts one).
+    pub max_call_depth: Option<u32>,
+}
+
+impl ResourceLimits {
+    /// Unlimited budgets.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+}
 
 /// Built-in exception classes resolved at load time.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +84,8 @@ struct ExcClasses {
     index: ClassId,
     cast: ClassId,
     negative: ClassId,
+    oom: ClassId,
+    stack_overflow: ClassId,
 }
 
 /// The SafeTSA virtual machine.
@@ -65,6 +110,12 @@ pub struct Vm<'m> {
     pub fuel: u64,
     /// Instructions executed (for benchmarks).
     pub steps: u64,
+    /// Current guest call depth.
+    depth: u32,
+    /// Deepest guest call depth observed (for the resource report).
+    peak_depth: u32,
+    /// Call-depth budget, if any.
+    max_depth: Option<u32>,
 }
 
 struct Frame {
@@ -105,6 +156,8 @@ impl<'m> Vm<'m> {
             index: find("IndexOutOfBoundsException")?,
             cast: find("ClassCastException")?,
             negative: find("NegativeArraySizeException")?,
+            oom: find("OutOfMemoryError")?,
+            stack_overflow: find("StackOverflowError")?,
         };
         // Layout.
         let shapes: Vec<ClassShape> = (0..n)
@@ -183,6 +236,9 @@ impl<'m> Vm<'m> {
             output: Output::new(),
             fuel: u64::MAX,
             steps: 0,
+            depth: 0,
+            peak_depth: 0,
+            max_depth: None,
         };
         // Typed defaults for statics, then run the static initializers.
         for i in 0..n {
@@ -209,7 +265,7 @@ impl<'m> Vm<'m> {
             for m in &class.methods {
                 if m.name == "<clinit>" {
                     if let Some(body) = m.body {
-                        self.call(FuncId(body), vec![]).map_err(VmError::Uncaught)?;
+                        self.call(FuncId(body), vec![]).map_err(vm_err)?;
                     }
                 }
             }
@@ -220,6 +276,19 @@ impl<'m> Vm<'m> {
     /// Sets the execution budget in instructions.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Applies a full set of resource budgets (fuel, heap bytes, call
+    /// depth). Unset budgets are unlimited.
+    pub fn set_limits(&mut self, limits: ResourceLimits) {
+        self.fuel = limits.fuel.unwrap_or(u64::MAX);
+        self.heap.set_budget(limits.max_heap_bytes);
+        self.max_depth = limits.max_call_depth;
+    }
+
+    /// The deepest guest call depth observed so far.
+    pub fn peak_depth(&self) -> u32 {
+        self.peak_depth
     }
 
     /// Runs static initializers and then the named function
@@ -235,16 +304,32 @@ impl<'m> Vm<'m> {
             .module
             .find_function(name)
             .ok_or_else(|| VmError::Load(format!("no function named {name}")))?;
-        self.call(f, vec![]).map_err(VmError::Uncaught)
+        self.call(f, vec![]).map_err(vm_err)
     }
 
-    /// Calls a function with already-evaluated arguments.
+    /// Calls a function with already-evaluated arguments. Counts one
+    /// unit of guest call depth against the stack budget; the depth is
+    /// restored on every exit path, so a trapped VM stays consistent
+    /// and can run another entry point.
     ///
     /// # Errors
     ///
     /// Returns the trap if execution traps (caught by enclosing
     /// handlers when called from inside `exec`).
     pub fn call(&mut self, fid: FuncId, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        if let Some(max) = self.max_depth {
+            if self.depth >= max {
+                return Err(Trap::StackOverflow);
+            }
+        }
+        self.depth += 1;
+        self.peak_depth = self.peak_depth.max(self.depth);
+        let r = self.call_inner(fid, args);
+        self.depth -= 1;
+        r
+    }
+
+    fn call_inner(&mut self, fid: FuncId, args: Vec<Value>) -> Result<Option<Value>, Trap> {
         let module: &'m Module = self.module;
         let f = module.function(fid);
         let mut frame = Frame {
@@ -257,7 +342,7 @@ impl<'m> Vm<'m> {
             frame.values[i] = Some(a);
         }
         for (i, c) in f.consts.iter().enumerate() {
-            let v = self.literal(&c.lit);
+            let v = self.literal(&c.lit)?;
             frame.values[f.const_value(i).index()] = Some(v);
         }
         match self.exec(f, &mut frame, &f.body)? {
@@ -267,8 +352,8 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn literal(&mut self, lit: &Literal) -> Value {
-        match lit {
+    fn literal(&mut self, lit: &Literal) -> Result<Value, Trap> {
+        Ok(match lit {
             Literal::Bool(b) => Value::Z(*b),
             Literal::Char(c) => Value::C(*c),
             Literal::Int(v) => Value::I(*v),
@@ -278,13 +363,13 @@ impl<'m> Vm<'m> {
             Literal::Null => Value::NULL,
             Literal::Str(s) => {
                 if let Some(&r) = self.str_pool.get(s) {
-                    return Value::Ref(Some(r));
+                    return Ok(Value::Ref(Some(r)));
                 }
-                let r = self.heap.alloc_str(s.clone());
+                let r = self.heap.try_alloc_str(s.clone())?;
                 self.str_pool.insert(s.clone(), r);
                 Value::Ref(Some(r))
             }
-        }
+        })
     }
 
     fn exec(&mut self, f: &Function, frame: &mut Frame, cst: &Cst) -> Result<Flow, Trap> {
@@ -308,7 +393,7 @@ impl<'m> Vm<'m> {
                 else_br,
                 join,
             } => {
-                let c = frame_get(frame, *cond).as_z();
+                let c = frame_get(frame, *cond)?.as_z();
                 let flow = if c {
                     self.exec(f, frame, then_br)?
                 } else {
@@ -342,8 +427,8 @@ impl<'m> Vm<'m> {
             },
             Cst::Break(n) => Ok(Flow::Break(*n)),
             Cst::Continue(n) => Ok(Flow::Continue(*n)),
-            Cst::Return(v) => Ok(Flow::Return(v.map(|v| frame_get(frame, v)))),
-            Cst::Throw(v) => match frame_get(frame, v_copy(*v)).as_ref() {
+            Cst::Return(v) => Ok(Flow::Return(v.map(|v| frame_get(frame, v)).transpose()?)),
+            Cst::Throw(v) => match frame_get(frame, v_copy(*v))?.as_ref() {
                 None => Err(Trap::NullPointer),
                 Some(r) => Err(Trap::User(r)),
             },
@@ -376,6 +461,9 @@ impl<'m> Vm<'m> {
 
     /// Turns a trap into an exception object (allocating the implicit
     /// runtime exception instances); internal/fuel traps propagate.
+    /// The exception instance itself is allocated on the host-reserved
+    /// path — in particular, materialising an `OutOfMemoryError` must
+    /// not itself run out of memory.
     fn trap_to_object(&mut self, trap: Trap) -> Result<HeapRef, Trap> {
         let class = match trap {
             Trap::User(r) => return Ok(r),
@@ -384,12 +472,26 @@ impl<'m> Vm<'m> {
             Trap::IndexOutOfBounds => self.exc.index,
             Trap::ClassCast => self.exc.cast,
             Trap::NegativeArraySize => self.exc.negative,
+            Trap::OutOfMemory => self.exc.oom,
+            Trap::StackOverflow => self.exc.stack_overflow,
             t @ (Trap::Internal(_) | Trap::OutOfFuel) => return Err(t),
         };
-        Ok(self.alloc_instance(class))
+        Ok(self.alloc_trap_instance(class))
     }
 
-    fn alloc_instance(&mut self, class: ClassId) -> HeapRef {
+    /// Budget-governed instance allocation (`new` in guest code).
+    fn alloc_instance(&mut self, class: ClassId) -> Result<HeapRef, Trap> {
+        let fields = self.field_defaults[class.index()].clone();
+        self.heap.try_alloc(Obj::Instance {
+            class: class.index(),
+            fields,
+            msg: None,
+        })
+    }
+
+    /// Host-reserved instance allocation for trap exception objects:
+    /// bypasses the budget (bytes are still accounted).
+    fn alloc_trap_instance(&mut self, class: ClassId) -> HeapRef {
         let fields = self.field_defaults[class.index()].clone();
         self.heap.alloc(Obj::Instance {
             class: class.index(),
@@ -409,7 +511,7 @@ impl<'m> Vm<'m> {
                 let arg = phi
                     .arg_from(pred)
                     .ok_or_else(|| Trap::Internal(format!("phi in {b} has no arg from {pred}")))?;
-                staged.push(frame_get(frame, arg));
+                staged.push(frame_get(frame, arg)?);
             }
             for (k, v) in staged.into_iter().enumerate() {
                 let result = f.phi_result(b, k);
@@ -444,19 +546,19 @@ impl<'m> Vm<'m> {
                 };
                 let desc = primops::resolve(kind, *op)
                     .ok_or_else(|| Trap::Internal("unknown primop".into()))?;
-                let a: Vec<Value> = args.iter().map(|v| frame_get(frame, *v)).collect();
+                let a = frame_get_all(frame, args)?;
                 prim_eval(kind, desc.name, &a).map(Some)
             }
             Instr::NullCheck { value, .. } => {
-                let v = frame_get(frame, *value);
+                let v = frame_get(frame, *value)?;
                 match v.as_ref() {
                     None => Err(Trap::NullPointer),
                     Some(_) => Ok(Some(v)),
                 }
             }
             Instr::IndexCheck { array, index, .. } => {
-                let arr = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
-                let i = frame_get(frame, *index).as_i();
+                let arr = frame_get(frame, *array)?.as_ref().ok_or(Trap::NullPointer)?;
+                let i = frame_get(frame, *index)?.as_i();
                 let len = match self.heap.get(arr) {
                     Obj::Array { data, .. } => data.len(),
                     _ => return Err(Trap::Internal("indexcheck on non-array".into())),
@@ -467,7 +569,7 @@ impl<'m> Vm<'m> {
                 Ok(Some(Value::I(i)))
             }
             Instr::Upcast { to, value, .. } => {
-                let v = frame_get(frame, *value);
+                let v = frame_get(frame, *value)?;
                 match v.as_ref() {
                     None => Ok(Some(v)), // null casts succeed
                     Some(r) => {
@@ -479,9 +581,9 @@ impl<'m> Vm<'m> {
                     }
                 }
             }
-            Instr::Downcast { value, .. } => Ok(Some(frame_get(frame, *value))),
+            Instr::Downcast { value, .. } => Ok(Some(frame_get(frame, *value)?)),
             Instr::GetField { object, field, .. } => {
-                let r = frame_get(frame, *object)
+                let r = frame_get(frame, *object)?
                     .as_ref()
                     .ok_or(Trap::NullPointer)?;
                 let slot = self.instance_field_slot(field)?;
@@ -496,11 +598,11 @@ impl<'m> Vm<'m> {
                 value,
                 ..
             } => {
-                let r = frame_get(frame, *object)
+                let r = frame_get(frame, *object)?
                     .as_ref()
                     .ok_or(Trap::NullPointer)?;
                 let slot = self.instance_field_slot(field)?;
-                let v = frame_get(frame, *value);
+                let v = frame_get(frame, *value)?;
                 match self.heap.get_mut(r) {
                     Obj::Instance { fields, .. } => {
                         fields[slot] = v;
@@ -513,14 +615,14 @@ impl<'m> Vm<'m> {
                 self.statics.get(field.class.index(), field.index as usize),
             )),
             Instr::SetStatic { field, value } => {
-                let v = frame_get(frame, *value);
+                let v = frame_get(frame, *value)?;
                 self.statics
                     .set(field.class.index(), field.index as usize, v);
                 Ok(None)
             }
             Instr::GetElt { array, index, .. } => {
-                let r = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
-                let i = frame_get(frame, *index).as_i() as usize;
+                let r = frame_get(frame, *array)?.as_ref().ok_or(Trap::NullPointer)?;
+                let i = frame_get(frame, *index)?.as_i() as usize;
                 match self.heap.get(r) {
                     Obj::Array { data, .. } => data.get(i).map(Some),
                     _ => Err(Trap::Internal("getelt on non-array".into())),
@@ -532,9 +634,9 @@ impl<'m> Vm<'m> {
                 value,
                 ..
             } => {
-                let r = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
-                let i = frame_get(frame, *index).as_i() as usize;
-                let v = frame_get(frame, *value);
+                let r = frame_get(frame, *array)?.as_ref().ok_or(Trap::NullPointer)?;
+                let i = frame_get(frame, *index)?.as_i() as usize;
+                let v = frame_get(frame, *value)?;
                 match self.heap.get_mut(r) {
                     Obj::Array { data, .. } => {
                         data.set(i, v)?;
@@ -544,7 +646,7 @@ impl<'m> Vm<'m> {
                 }
             }
             Instr::ArrayLength { array, .. } => {
-                let r = frame_get(frame, *array).as_ref().ok_or(Trap::NullPointer)?;
+                let r = frame_get(frame, *array)?.as_ref().ok_or(Trap::NullPointer)?;
                 match self.heap.get(r) {
                     Obj::Array { data, .. } => Ok(Some(Value::I(data.len() as i32))),
                     _ => Err(Trap::Internal("arraylength on non-array".into())),
@@ -555,14 +657,21 @@ impl<'m> Vm<'m> {
                     TypeKind::Class(c) => c,
                     _ => return Err(Trap::Internal("new on non-class".into())),
                 };
-                let r = self.alloc_instance(class);
+                let r = self.alloc_instance(class)?;
                 Ok(Some(Value::Ref(Some(r))))
             }
             Instr::NewArray { arr_ty, length } => {
-                let len = frame_get(frame, *length).as_i();
+                let len = frame_get(frame, *length)?.as_i();
                 if len < 0 {
                     return Err(Trap::NegativeArraySize);
                 }
+                // Reserve against the budget from the projected size
+                // BEFORE building the element vector, so a hostile
+                // `new int[1 << 30]` is rejected without the host ever
+                // committing gigabytes.
+                let width = self.array_elem_width(*arr_ty)?;
+                self.heap
+                    .try_reserve(safetsa_rt::heap::array_size_bytes(width, len as u64))?;
                 let data = self.fresh_array_data(*arr_ty, len as usize)?;
                 let r = self.heap.alloc(Obj::Array {
                     type_tag: arr_ty.0 as u64,
@@ -576,8 +685,8 @@ impl<'m> Vm<'m> {
                 args,
                 ..
             } => {
-                let recv = receiver.map(|r| frame_get(frame, r));
-                let argv: Vec<Value> = args.iter().map(|v| frame_get(frame, *v)).collect();
+                let recv = receiver.map(|r| frame_get(frame, r)).transpose()?;
+                let argv = frame_get_all(frame, args)?;
                 self.invoke_static_target(*method, recv, argv)
             }
             Instr::XDispatch {
@@ -586,17 +695,17 @@ impl<'m> Vm<'m> {
                 args,
                 ..
             } => {
-                let recv = frame_get(frame, *receiver);
-                let argv: Vec<Value> = args.iter().map(|v| frame_get(frame, *v)).collect();
+                let recv = frame_get(frame, *receiver)?;
+                let argv = frame_get_all(frame, args)?;
                 self.invoke_virtual(*method, recv, argv)
             }
             Instr::RefEq { a, b, .. } => {
-                let x = frame_get(frame, *a).as_ref();
-                let y = frame_get(frame, *b).as_ref();
+                let x = frame_get(frame, *a)?.as_ref();
+                let y = frame_get(frame, *b)?.as_ref();
                 Ok(Some(Value::Z(x == y)))
             }
             Instr::InstanceOf { target, value, .. } => {
-                let v = frame_get(frame, *value);
+                let v = frame_get(frame, *value)?;
                 let res = match v.as_ref() {
                     None => false,
                     Some(r) => self.ref_is_instance_of(r, *target),
@@ -623,6 +732,22 @@ impl<'m> Vm<'m> {
             .filter(|f| !f.is_static)
             .count();
         Ok(self.layout.field_slot(class.index(), before))
+    }
+
+    /// The element storage width in bytes of an array type, used to
+    /// project allocation size before the elements exist.
+    fn array_elem_width(&self, arr_ty: TypeId) -> Result<u64, Trap> {
+        let elem = self
+            .module
+            .types
+            .array_elem(arr_ty)
+            .ok_or_else(|| Trap::Internal("newarray on non-array type".into()))?;
+        Ok(match self.module.types.kind(elem) {
+            TypeKind::Prim(PrimKind::Bool) => 1,
+            TypeKind::Prim(PrimKind::Char) => 2,
+            TypeKind::Prim(PrimKind::Int) | TypeKind::Prim(PrimKind::Float) => 4,
+            _ => 8,
+        })
     }
 
     fn fresh_array_data(&self, arr_ty: TypeId, len: usize) -> Result<ArrData, Trap> {
@@ -768,8 +893,16 @@ fn default_value(types: &safetsa_core::TypeTable, ty: TypeId) -> Value {
     }
 }
 
-fn frame_get(frame: &Frame, v: ValueId) -> Value {
-    frame.values[v.index()].expect("verified: operand dominates use")
+fn frame_get(frame: &Frame, v: ValueId) -> Result<Value, Trap> {
+    // The verifier guarantees every operand dominates its use, so a
+    // missing value can only mean a VM bug — report it as a structured
+    // internal trap instead of panicking, so embedders keep control.
+    frame.values[v.index()]
+        .ok_or_else(|| Trap::Internal(format!("operand {v:?} read before definition")))
+}
+
+fn frame_get_all(frame: &Frame, vs: &[ValueId]) -> Result<Vec<Value>, Trap> {
+    vs.iter().map(|v| frame_get(frame, *v)).collect()
 }
 
 fn v_copy(v: ValueId) -> ValueId {

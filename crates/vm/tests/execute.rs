@@ -464,8 +464,159 @@ fn fuel_limit_stops_infinite_loop() {
     let mut vm = Vm::load(&lowered.module).unwrap();
     vm.set_fuel(10_000);
     let err = vm.run_entry("A.main").unwrap_err();
+    assert!(matches!(err, safetsa_vm::VmError::FuelExhausted));
+}
+
+// ------------------------------------------------------------------
+// Resource governance: heap budgets, call-depth caps, and the
+// reusable-after-trap invariant.
+
+fn load_governed(src: &str, limits: safetsa_vm::ResourceLimits) -> Vm<'static> {
+    let prog = compile(src).expect("compiles");
+    let lowered = lower_program(&prog).expect("lowers");
+    verify_module(&lowered.module).expect("verifies");
+    // Tests keep one module per VM alive for the test's duration.
+    let module = Box::leak(Box::new(lowered.module));
+    let mut vm = Vm::load(module).expect("loads");
+    vm.set_limits(limits);
+    vm
+}
+
+#[test]
+fn oom_is_catchable_like_java() {
+    let mut vm = load_governed(
+        "class A { static int main() {
+             try {
+                 int[] big = new int[1000000];
+                 return big.length;
+             } catch (OutOfMemoryError e) {
+                 return -1;
+             }
+         } }",
+        safetsa_vm::ResourceLimits {
+            fuel: Some(1_000_000),
+            max_heap_bytes: Some(4096),
+            max_call_depth: None,
+        },
+    );
+    assert_eq!(vm.run_entry("A.main").unwrap(), Some(Value::I(-1)));
+}
+
+#[test]
+fn oom_rejects_huge_array_before_host_allocation() {
+    // 1 << 28 ints would be a gigabyte of host memory: the projected
+    // size must be rejected against the budget before the elements are
+    // ever materialised.
+    let mut vm = load_governed(
+        "class A { static int main() {
+             try {
+                 int[] big = new int[268435456];
+                 return big.length;
+             } catch (OutOfMemoryError e) {
+                 return -1;
+             }
+         } }",
+        safetsa_vm::ResourceLimits {
+            fuel: Some(1_000_000),
+            max_heap_bytes: Some(1 << 16),
+            max_call_depth: None,
+        },
+    );
+    assert_eq!(vm.run_entry("A.main").unwrap(), Some(Value::I(-1)));
+    assert!(vm.heap.bytes_allocated() < (1 << 16));
+}
+
+#[test]
+fn uncaught_oom_is_structured_not_a_panic() {
+    let mut vm = load_governed(
+        "class A { static int main() { int[] b = new int[100000]; return b.length; } }",
+        safetsa_vm::ResourceLimits {
+            fuel: Some(1_000_000),
+            max_heap_bytes: Some(1024),
+            max_call_depth: None,
+        },
+    );
+    let err = vm.run_entry("A.main").unwrap_err();
     assert!(matches!(
         err,
-        safetsa_vm::VmError::Uncaught(safetsa_rt::Trap::OutOfFuel)
+        safetsa_vm::VmError::Uncaught(safetsa_rt::Trap::OutOfMemory)
+    ));
+    // The VM survives the trap: raising the budget and re-running the
+    // same entry point succeeds.
+    vm.set_limits(safetsa_vm::ResourceLimits {
+        fuel: Some(1_000_000),
+        max_heap_bytes: None,
+        max_call_depth: None,
+    });
+    assert_eq!(vm.run_entry("A.main").unwrap(), Some(Value::I(100000)));
+}
+
+#[test]
+fn stack_overflow_is_catchable_like_java() {
+    let mut vm = load_governed(
+        "class A {
+             static int rec(int n) { return rec(n + 1); }
+             static int main() {
+                 try { return rec(0); } catch (StackOverflowError e) { return -2; }
+             }
+         }",
+        safetsa_vm::ResourceLimits {
+            fuel: Some(10_000_000),
+            max_heap_bytes: None,
+            max_call_depth: Some(64),
+        },
+    );
+    assert_eq!(vm.run_entry("A.main").unwrap(), Some(Value::I(-2)));
+}
+
+#[test]
+fn depth_is_restored_after_stack_overflow() {
+    let mut vm = load_governed(
+        "class A {
+             static int rec(int n) { if (n == 0) return 0; return 1 + rec(n - 1); }
+             static int deep() { return rec(1000); }
+             static int shallow() { return rec(3); }
+         }",
+        safetsa_vm::ResourceLimits {
+            fuel: Some(10_000_000),
+            max_heap_bytes: None,
+            max_call_depth: Some(16),
+        },
+    );
+    let err = vm.run_entry("A.deep").unwrap_err();
+    assert!(matches!(
+        err,
+        safetsa_vm::VmError::Uncaught(safetsa_rt::Trap::StackOverflow)
+    ));
+    // Depth bookkeeping unwound correctly: a shallow entry still fits.
+    assert_eq!(vm.run_entry("A.shallow").unwrap(), Some(Value::I(3)));
+    assert!(vm.peak_depth() >= 16);
+}
+
+#[test]
+fn error_is_outside_the_exception_hierarchy() {
+    // `catch (Exception e)` must NOT swallow resource-exhaustion
+    // errors, exactly like Java.
+    let mut vm = load_governed(
+        "class A { static int main() {
+             try {
+                 int[] big = new int[1000000];
+                 return big.length;
+             } catch (Exception e) {
+                 return -3;
+             }
+         } }",
+        safetsa_vm::ResourceLimits {
+            fuel: Some(1_000_000),
+            max_heap_bytes: Some(4096),
+            max_call_depth: None,
+        },
+    );
+    let err = vm.run_entry("A.main").unwrap_err();
+    // The handler re-throws the non-matching OutOfMemoryError object.
+    assert!(matches!(
+        err,
+        safetsa_vm::VmError::Uncaught(safetsa_rt::Trap::User(_))
+            | safetsa_vm::VmError::Uncaught(safetsa_rt::Trap::OutOfMemory)
     ));
 }

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut module = lowered.module;
     safetsa_opt::optimize_module(&mut module);
     safetsa_core::verify::verify_module(&module)?;
-    let wire = encode_module(&module);
+    let wire = encode_module(&module)?;
 
     // Baseline transport size (Java class files for the same program).
     let mut bcode = safetsa_baseline::compile::compile_program(&prog);

@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("4. verify (linear, no dataflow analysis) and encode");
     verify_module(&module)?;
-    let bytes = encode_module(&module);
+    let bytes = encode_module(&module)?;
     println!("   wire size: {} bytes", bytes.len());
 
     // ---- consumer side ----

@@ -3,6 +3,8 @@
 //! ```text
 //! safetsa compile <in.java>... -o <out.tsa> [--no-opt]   produce a module
 //! safetsa run <file.tsa|file.java> --entry Class.method  decode/verify/run
+//!     [--fuel N] [--max-heap BYTES] [--max-depth N]   resource budgets;
+//!     a resource report (steps, bytes, peak depth) goes to stderr
 //! safetsa dump <file.java> [--function Class.method] [--view V]
 //!     show an IR view (V: safetsa|plain|lr|planes; default safetsa)
 //! safetsa stats <file.java>                               size/check stats
@@ -20,7 +22,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: safetsa <compile|run|dump|stats> ...");
             eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt]");
-            eprintln!("  run <file.tsa|file.java> --entry Class.method [--fuel N]");
+            eprintln!("  run <file.tsa|file.java> --entry Class.method");
+            eprintln!("      [--fuel N] [--max-heap BYTES] [--max-depth N]");
             eprintln!("  dump <file.java> [--function Class.method]");
             eprintln!("  stats <file.java>");
             return ExitCode::from(2);
@@ -56,7 +59,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             // flags with values
             if matches!(
                 a.as_str(),
-                "-o" | "--entry" | "--function" | "--fuel" | "--view"
+                "-o" | "--entry" | "--function" | "--fuel" | "--view" | "--max-heap" | "--max-depth"
             ) {
                 skip = true;
             }
@@ -92,7 +95,7 @@ fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
         return Err("no input files".into());
     }
     let module = build_module(&sources, optimize)?;
-    let bytes = safetsa_codec::encode_module(&module);
+    let bytes = safetsa_codec::encode_module(&module)?;
     std::fs::write(out, &bytes)?;
     println!(
         "wrote {out}: {} bytes, {} functions, {} instructions, {} phis",
@@ -110,6 +113,8 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         .map(str::parse)
         .transpose()?
         .unwrap_or(1_000_000_000);
+    let max_heap: Option<u64> = flag_value(args, "--max-heap").map(str::parse).transpose()?;
+    let max_depth: Option<u32> = flag_value(args, "--max-depth").map(str::parse).transpose()?;
     let files = positional(args);
     let file = files.first().ok_or("no input file")?;
     let module = if file.ends_with(".tsa") {
@@ -120,10 +125,22 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         build_module(&files, true)?
     };
     let mut vm = safetsa_vm::Vm::load(&module)?;
-    vm.set_fuel(fuel);
-    let result = vm.run_entry(entry)?;
+    vm.set_limits(safetsa_vm::ResourceLimits {
+        fuel: Some(fuel),
+        max_heap_bytes: max_heap,
+        max_call_depth: max_depth,
+    });
+    let result = vm.run_entry(entry);
     print!("{}", vm.output.text());
-    if let Some(v) = result {
+    // The report goes to stderr so scripted consumers of stdout see
+    // only program output.
+    eprintln!(
+        "resource report: steps={} bytes_allocated={} peak_depth={}",
+        vm.steps,
+        vm.heap.bytes_allocated(),
+        vm.peak_depth()
+    );
+    if let Some(v) = result? {
         println!("=> {v:?}");
     }
     Ok(())
@@ -169,10 +186,10 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
     let lowered = safetsa_ssa::lower_program(&prog)?;
     let cons = lowered.totals();
     let mut module = lowered.module;
-    let unopt_bytes = safetsa_codec::encode_module(&module).len();
+    let unopt_bytes = safetsa_codec::encode_module(&module)?.len();
     let unopt_instrs = module.instr_count() + module.phi_count();
     let stats = safetsa_opt::optimize_module(&mut module);
-    let opt_bytes = safetsa_codec::encode_module(&module).len();
+    let opt_bytes = safetsa_codec::encode_module(&module)?.len();
     let mut bcode = safetsa_baseline::compile::compile_program(&prog);
     safetsa_baseline::verify::verify_program(&prog, &mut bcode)?;
     let class_bytes = safetsa_baseline::classfile::total_size(&prog, &bcode);

@@ -174,7 +174,7 @@ proptest! {
             panic!("verifies: {e}\n{src}");
         }
         let host = HostEnv::standard();
-        let decoded = decode_and_verify(&encode_module(&lowered.module), &host).expect("decodes");
+        let decoded = decode_and_verify(&encode_module(&lowered.module).expect("encodes"), &host).expect("decodes");
         let run_vm = |m: &safetsa_core::Module| -> (Option<Value>, String) {
             let mut vm = safetsa_vm::Vm::load(m).expect("loads");
             vm.set_fuel(80_000_000);

@@ -274,7 +274,7 @@ fn safe_index_phi_round_trips_through_codec() {
         functions: vec![f],
     };
     verify_module(&module).expect("module verifies");
-    let bytes = encode_module(&module);
+    let bytes = encode_module(&module).expect("encodes");
     let decoded = decode_and_verify(&bytes, &host).expect("round trip");
     // The decoded phi carries the reconstructed provenance (block ids
     // are renumbered by the decoder; find the phi by scanning).

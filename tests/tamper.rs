@@ -9,7 +9,7 @@ use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
 fn wire_for(src: &str) -> Vec<u8> {
     let prog = safetsa_frontend::compile(src).unwrap();
     let lowered = safetsa_ssa::lower_program(&prog).unwrap();
-    encode_module(&lowered.module)
+    encode_module(&lowered.module).expect("encodes")
 }
 
 proptest! {
@@ -44,8 +44,21 @@ proptest! {
         }
         if let Ok(module) = decode_and_verify(&evil, &host) {
             // Accepted mutants are verified type-safe programs; loading
-            // them must also never panic.
-            let _ = safetsa_vm::Vm::load(&module);
+            // AND running them must never panic. Execution happens
+            // under tight resource budgets so a mutant that decodes to
+            // a hungry-but-valid program (e.g. a huge allocation or a
+            // deep recursion) is confined rather than taking down the
+            // test process.
+            if let Ok(mut vm) = safetsa_vm::Vm::load(&module) {
+                vm.set_limits(safetsa_vm::ResourceLimits {
+                    fuel: Some(200_000),
+                    max_heap_bytes: Some(1 << 20),
+                    max_call_depth: Some(64),
+                });
+                let _ = vm.run_entry("M.main");
+                // Whatever happened, the VM must stay reusable.
+                let _ = vm.run_entry("M.main");
+            }
         }
     }
 
