@@ -1,0 +1,53 @@
+//! Smoke-checks the telemetry zero-overhead guarantee: the producer
+//! pipeline run through the instrumented entry points with a *disabled*
+//! registry should cost the same as the plain entry points, because
+//! every recording call early-returns before touching a clock or a map.
+//! The enabled variant is measured alongside for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safetsa_bench::corpus;
+use safetsa_opt::Passes;
+use safetsa_telemetry::Telemetry;
+use std::hint::black_box;
+
+fn pipeline_plain(source: &str) -> Vec<u8> {
+    let prog = safetsa_frontend::compile(source).unwrap();
+    let mut module = safetsa_ssa::lower_program(&prog).unwrap().module;
+    safetsa_opt::optimize_module(&mut module);
+    safetsa_codec::encode_module(&module).unwrap()
+}
+
+fn pipeline_traced(source: &str, tm: &Telemetry) -> Vec<u8> {
+    let prog = safetsa_frontend::compile_with(source, tm).unwrap();
+    let mut module = safetsa_ssa::lower_program_with(&prog, tm).unwrap().module;
+    safetsa_opt::optimize_module_traced(&mut module, Passes::ALL, tm);
+    safetsa_codec::encode_module_traced(&module, tm).unwrap()
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let entries = corpus();
+    let entry = entries
+        .iter()
+        .find(|e| e.name == "QuickSort")
+        .unwrap_or(&entries[0]);
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(30);
+    g.bench_function("pipeline_plain", |b| {
+        b.iter(|| black_box(pipeline_plain(entry.source)))
+    });
+    g.bench_function("pipeline_telemetry_disabled", |b| {
+        let tm = Telemetry::disabled();
+        b.iter(|| black_box(pipeline_traced(entry.source, &tm)))
+    });
+    g.bench_function("pipeline_telemetry_enabled", |b| {
+        b.iter(|| {
+            let tm = Telemetry::enabled();
+            black_box(pipeline_traced(entry.source, &tm))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Corpus-wide metrics sweep: runs the fully instrumented pipeline
+//! over every corpus program and emits one aggregate
+//! `BENCH_pipeline.json` document (schema `safetsa-bench/1`).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [--out PATH]      # write the aggregate report
+//! bench_report --check PATH      # regression gate: compare each
+//!                                # program's encoded-size ratio
+//!                                # against the thresholds file
+//! ```
+//!
+//! The thresholds file is line-oriented: `Name max_permille`, `#`
+//! comments and blank lines ignored. A program whose
+//! `codec.size_ratio_permille` (optimized SafeTSA bytes * 1000 /
+//! class-file bytes) exceeds its threshold fails the check; a program
+//! with no threshold entry only warns, so adding corpus programs does
+//! not break CI until a threshold is blessed.
+
+use safetsa_bench::{corpus, program_report, ProgramReport};
+use safetsa_telemetry::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => return usage("--out needs a path"),
+                }
+            }
+            "--check" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => check_path = Some(p.clone()),
+                    None => return usage("--check needs a path"),
+                }
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let reports: Vec<ProgramReport> = corpus().iter().map(program_report).collect();
+
+    if let Some(path) = check_path {
+        return check_thresholds(&reports, &path);
+    }
+
+    let doc = aggregate(&reports);
+    if let Err(e) = std::fs::write(&out_path, doc.render_pretty()) {
+        eprintln!("bench_report: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_report: {} programs -> {out_path} ({} optimized SafeTSA bytes vs {} class-file bytes, {} permille)",
+        reports.len(),
+        reports.iter().map(|r| r.opt_size).sum::<u64>(),
+        reports.iter().map(|r| r.class_size).sum::<u64>(),
+        total_ratio_permille(&reports),
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("bench_report: {msg}");
+    eprintln!("usage: bench_report [--out PATH] [--check PATH]");
+    ExitCode::FAILURE
+}
+
+fn total_ratio_permille(reports: &[ProgramReport]) -> u64 {
+    let opt: u64 = reports.iter().map(|r| r.opt_size).sum();
+    let class: u64 = reports.iter().map(|r| r.class_size).sum();
+    (opt * 1000).checked_div(class).unwrap_or(0)
+}
+
+/// Builds the `safetsa-bench/1` aggregate: corpus totals up front, then
+/// the full per-program metrics documents.
+fn aggregate(reports: &[ProgramReport]) -> Json {
+    let mut totals = Json::obj();
+    totals.set("programs", Json::U64(reports.len() as u64));
+    totals.set(
+        "safetsa_opt_bytes",
+        Json::U64(reports.iter().map(|r| r.opt_size).sum()),
+    );
+    totals.set(
+        "class_file_bytes",
+        Json::U64(reports.iter().map(|r| r.class_size).sum()),
+    );
+    totals.set(
+        "size_ratio_permille",
+        Json::U64(total_ratio_permille(reports)),
+    );
+    totals.set(
+        "vm_steps",
+        Json::U64(reports.iter().map(|r| r.steps).sum()),
+    );
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str("safetsa-bench/1".into()));
+    doc.set("totals", totals);
+    doc.set(
+        "programs",
+        Json::Arr(reports.iter().map(|r| r.json.clone()).collect()),
+    );
+    doc
+}
+
+fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_report: cannot read thresholds file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut thresholds: BTreeMap<String, u64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(limit)) = (parts.next(), parts.next()) else {
+            eprintln!("bench_report: {path}:{}: malformed line `{line}`", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Ok(limit) = limit.parse::<u64>() else {
+            eprintln!(
+                "bench_report: {path}:{}: bad permille value `{limit}`",
+                lineno + 1
+            );
+            return ExitCode::FAILURE;
+        };
+        thresholds.insert(name.to_string(), limit);
+    }
+
+    let mut failures = 0usize;
+    for r in reports {
+        match thresholds.get(r.name) {
+            Some(&limit) if r.ratio_permille > limit => {
+                eprintln!(
+                    "FAIL {:<14} encoded/class ratio {} permille exceeds threshold {}",
+                    r.name, r.ratio_permille, limit
+                );
+                failures += 1;
+            }
+            Some(&limit) => {
+                println!(
+                    "ok   {:<14} ratio {} permille (threshold {})",
+                    r.name, r.ratio_permille, limit
+                );
+            }
+            None => {
+                eprintln!(
+                    "warn {:<14} no threshold entry (current ratio {} permille)",
+                    r.name, r.ratio_permille
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_report: {failures} program(s) regressed past the size-ratio threshold");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_report: all {} programs within thresholds", reports.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -25,6 +25,7 @@ use safetsa_frontend::hir::Program;
 use safetsa_opt::{optimize_module_with, OptStats, Passes};
 use safetsa_rt::Value;
 use safetsa_ssa::{lower_program, FnStats};
+use safetsa_telemetry::{Json, Telemetry};
 
 /// One corpus program.
 #[derive(Debug, Clone, Copy)]
@@ -249,4 +250,71 @@ pub fn delta_pct(before: usize, after: usize) -> Option<i64> {
         return None;
     }
     Some(((after as i64 - before as i64) * 100) / before as i64)
+}
+
+/// One corpus program's full metrics document plus the headline
+/// quantities `bench_report` aggregates and regression-checks.
+pub struct ProgramReport {
+    /// Row label.
+    pub name: &'static str,
+    /// The `{schema, command, subject, metrics}` document.
+    pub json: Json,
+    /// Optimized SafeTSA wire bytes.
+    pub opt_size: u64,
+    /// Baseline class-file bytes.
+    pub class_size: u64,
+    /// `opt_size * 1000 / class_size` — the paper's headline encoding
+    /// ratio, in permille.
+    pub ratio_permille: u64,
+    /// Dynamic instructions executed by the optimized module.
+    pub steps: u64,
+}
+
+/// Runs the fully instrumented pipeline over one corpus program:
+/// frontend, SSA construction, producer optimization, encoding with
+/// section accounting, the bytecode baseline, and an interpreted run of
+/// the optimized module with dynamic statistics. Every layer records
+/// into one registry; the result is the per-program metrics document.
+///
+/// # Panics
+///
+/// Panics when any stage fails — corpus programs are expected to be
+/// fully supported.
+pub fn program_report(entry: &CorpusEntry) -> ProgramReport {
+    let tm = Telemetry::enabled();
+    let prog = safetsa_frontend::compile_with(entry.source, &tm)
+        .unwrap_or_else(|e| panic!("{}: front-end: {e}", entry.name));
+    let lowered = safetsa_ssa::lower_program_with(&prog, &tm)
+        .unwrap_or_else(|e| panic!("{}: lowering: {e}", entry.name));
+    let mut module = lowered.module;
+    safetsa_opt::optimize_module_traced(&mut module, Passes::ALL, &tm);
+    verify_module(&module).unwrap_or_else(|e| panic!("{}: verify: {e}", entry.name));
+    let bytes = safetsa_codec::encode_module_traced(&module, &tm)
+        .unwrap_or_else(|e| panic!("{}: encode: {e}", entry.name));
+    // Baseline plane + headline ratio.
+    let mut bcode = bcompile::compile_program(&prog);
+    bverify::verify_program(&prog, &mut bcode)
+        .unwrap_or_else(|e| panic!("{}: bytecode verify: {e}", entry.name));
+    let class_size = classfile::total_size(&prog, &bcode) as u64;
+    let opt_size = bytes.len() as u64;
+    let ratio_permille = (opt_size * 1000).checked_div(class_size).unwrap_or(0);
+    tm.set("baseline.class_file_bytes", class_size);
+    tm.set("baseline.instrs", bcode.instr_count() as u64);
+    tm.set("codec.size_ratio_permille", ratio_permille);
+    // Consumer plane: run the optimized module with dynamic counters.
+    let mut vm = safetsa_vm::Vm::load(&module).expect("loads");
+    vm.enable_stats();
+    vm.set_fuel(500_000_000);
+    vm.run_entry(entry.entry)
+        .unwrap_or_else(|e| panic!("{}: vm: {e}", entry.name));
+    vm.export_metrics(&tm);
+    let steps = vm.steps;
+    ProgramReport {
+        name: entry.name,
+        json: tm.report("bench-report", entry.name),
+        opt_size,
+        class_size,
+        ratio_permille,
+        steps,
+    }
 }

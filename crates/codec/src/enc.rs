@@ -86,6 +86,52 @@ impl std::fmt::Display for EncodeError {
 
 impl std::error::Error for EncodeError {}
 
+/// Bit-exact breakdown of one encoded module by wire-format section,
+/// the substrate for the paper's encoding-size comparison (Figure 5):
+/// where the bytes go, not just how many there are.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sections {
+    /// Magic, version, module name, and class counts.
+    pub header_bits: u64,
+    /// Transmitted class declarations (names, supers, fields, method
+    /// signatures) — the type table.
+    pub type_table_bits: u64,
+    /// Per-function constant pools.
+    pub const_pool_bits: u64,
+    /// Phase 1: the Control Structure Tree as grammar productions.
+    pub cst_bits: u64,
+    /// Phase 2a: opcodes, operand types, and member references.
+    pub instr_bits: u64,
+    /// Phase 2b: dominator-relative `(l, r)` operand references — the
+    /// per-type register planes.
+    pub operand_ref_bits: u64,
+    /// Phase 2c: CST-held value references (conditions, returns,
+    /// throws).
+    pub cst_ref_bits: u64,
+    /// Phase 3: phi operand references.
+    pub phi_ref_bits: u64,
+    /// Function bodies encoded.
+    pub functions: u64,
+    /// Final stream length in bytes (including the zero padding of the
+    /// last partial byte, which is why this can exceed
+    /// `total_bits() / 8`).
+    pub total_bytes: u64,
+}
+
+impl Sections {
+    /// Sum of all section bit counts.
+    pub fn total_bits(&self) -> u64 {
+        self.header_bits
+            + self.type_table_bits
+            + self.const_pool_bits
+            + self.cst_bits
+            + self.instr_bits
+            + self.operand_ref_bits
+            + self.cst_ref_bits
+            + self.phi_ref_bits
+    }
+}
+
 /// Encodes a module into its wire form.
 ///
 /// The module must verify (`safetsa_core::verify::verify_module`).
@@ -95,7 +141,19 @@ impl std::error::Error for EncodeError {}
 /// Returns [`EncodeError`] when the module is not in verified shape —
 /// the encoder refuses to emit garbage.
 pub fn encode_module(m: &Module) -> Result<Vec<u8>, EncodeError> {
+    encode_module_sections(m).map(|(bytes, _)| bytes)
+}
+
+/// [`encode_module`] returning the per-section bit breakdown alongside
+/// the stream. The accounting is a handful of position reads per
+/// function, so it is always on.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when the module is not in verified shape.
+pub fn encode_module_sections(m: &Module) -> Result<(Vec<u8>, Sections), EncodeError> {
     let mut w = BitWriter::new();
+    let mut sec = Sections::default();
     w.bits(MAGIC as u64, 32);
     w.bits(VERSION as u64, 8);
     w.string(&m.name);
@@ -108,6 +166,7 @@ pub fn encode_module(m: &Module) -> Result<Vec<u8>, EncodeError> {
     }
     w.gamma(n_classes as u64);
     w.gamma(n_builtin as u64);
+    sec.header_bits = w.bit_len() as u64;
     for (_, class) in m.types.classes().skip(n_builtin) {
         w.string(&class.name);
         let sup = class
@@ -144,31 +203,48 @@ pub fn encode_module(m: &Module) -> Result<Vec<u8>, EncodeError> {
             w.bits(u64::from(method.body.is_some()), 1);
         }
     }
+    sec.type_table_bits = w.bit_len() as u64 - sec.header_bits;
     // Function bodies in (class, method) order.
     let mut wtypes = m.types.clone();
     for (_, class) in m.types.classes() {
         for method in &class.methods {
             if let Some(body) = method.body {
                 let f = &m.functions[body as usize];
-                encode_function(&mut w, &mut wtypes, f)?;
+                encode_function(&mut w, &mut wtypes, f, &mut sec)?;
+                sec.functions += 1;
             }
         }
     }
-    Ok(w.into_bytes())
+    let bytes = w.into_bytes();
+    sec.total_bytes = bytes.len() as u64;
+    Ok((bytes, sec))
 }
 
-fn encode_function(w: &mut BitWriter, types: &mut TypeTable, f: &Function) -> Result<(), EncodeError> {
+fn encode_function(
+    w: &mut BitWriter,
+    types: &mut TypeTable,
+    f: &Function,
+    sec: &mut Sections,
+) -> Result<(), EncodeError> {
     let cfg = Cfg::build(f).map_err(|e| EncodeError::UnverifiedFunction(e.to_string()))?;
     let dom = DomTree::build(&cfg);
+    let mut mark = w.bit_len() as u64;
+    let mut section = |w: &BitWriter, slot: &mut u64| {
+        let here = w.bit_len() as u64;
+        *slot += here - mark;
+        mark = here;
+    };
     // Constant pool.
     w.gamma(f.consts.len() as u64);
     for c in &f.consts {
         write_type(w, types, c.ty);
         encode_literal(w, &c.lit);
     }
+    section(w, &mut sec.const_pool_bits);
     // Phase 1: the CST as grammar productions.
     let mut depths = (0u32, 0u32);
     encode_cst(w, &f.body, &mut depths);
+    section(w, &mut sec.cst_bits);
     // Phase 2a: opcodes, types, and member references of every block in
     // the CST-derived traversal order. Operands are postponed so a
     // streaming consumer knows every plane's register count (and the
@@ -185,6 +261,7 @@ fn encode_function(w: &mut BitWriter, types: &mut TypeTable, f: &Function) -> Re
             encode_instr_fields(w, types, instr);
         }
     }
+    section(w, &mut sec.instr_bits);
     // Phase 2b: the operand references.
     for &b in &cfg.traversal {
         let block = f.block(b);
@@ -196,6 +273,7 @@ fn encode_function(w: &mut BitWriter, types: &mut TypeTable, f: &Function) -> Re
             }
         }
     }
+    section(w, &mut sec.operand_ref_bits);
     // Phase 2c: CST value references (conditions, returns, throws) in
     // the frontier-walk order.
     let mut rw = RefWalk {
@@ -206,6 +284,7 @@ fn encode_function(w: &mut BitWriter, types: &mut TypeTable, f: &Function) -> Re
         dom: &dom,
     };
     rw.walk(&f.body, Fr::Start)?;
+    section(w, &mut sec.cst_ref_bits);
     // Phase 3: phi operands.
     for &b in &cfg.traversal {
         let preds = cfg.preds_of(b).to_vec();
@@ -222,6 +301,7 @@ fn encode_function(w: &mut BitWriter, types: &mut TypeTable, f: &Function) -> Re
             }
         }
     }
+    section(w, &mut sec.phi_ref_bits);
     Ok(())
 }
 

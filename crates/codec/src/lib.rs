@@ -47,7 +47,43 @@ pub mod refs;
 
 pub use bits::DecodeError;
 pub use dec::{decode_and_verify, decode_module, HostEnv};
-pub use enc::{encode_module, EncodeError};
+pub use enc::{encode_module, encode_module_sections, EncodeError, Sections};
+
+use safetsa_telemetry::Telemetry;
+
+/// [`encode_module`] with instrumentation: records the encode wall time
+/// (`codec.encode_ns`), the stream size (`codec.total_bytes`), and the
+/// per-section bit breakdown (`codec.sections.*_bits`) — where the
+/// paper's Figure 5 bytes actually go.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when the module is not in verified shape.
+pub fn encode_module_traced(
+    m: &safetsa_core::Module,
+    tm: &Telemetry,
+) -> Result<Vec<u8>, EncodeError> {
+    let (bytes, sec) = tm.time("codec.encode_ns", || encode_module_sections(m))?;
+    record_sections(&sec, tm);
+    Ok(bytes)
+}
+
+/// Records one [`Sections`] breakdown into the `codec.*` counter plane.
+pub fn record_sections(sec: &Sections, tm: &Telemetry) {
+    if !tm.is_enabled() {
+        return;
+    }
+    tm.add("codec.total_bytes", sec.total_bytes);
+    tm.add("codec.functions", sec.functions);
+    tm.add("codec.sections.header_bits", sec.header_bits);
+    tm.add("codec.sections.type_table_bits", sec.type_table_bits);
+    tm.add("codec.sections.const_pool_bits", sec.const_pool_bits);
+    tm.add("codec.sections.cst_bits", sec.cst_bits);
+    tm.add("codec.sections.instr_bits", sec.instr_bits);
+    tm.add("codec.sections.operand_ref_bits", sec.operand_ref_bits);
+    tm.add("codec.sections.cst_ref_bits", sec.cst_ref_bits);
+    tm.add("codec.sections.phi_ref_bits", sec.phi_ref_bits);
+}
 
 impl HostEnv {
     /// The standard host environment: the same implicit classes the

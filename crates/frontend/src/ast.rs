@@ -9,6 +9,105 @@ pub struct CompilationUnit {
     pub classes: Vec<ClassDecl>,
 }
 
+impl CompilationUnit {
+    /// Counts the AST nodes of the unit (declarations, statements, and
+    /// expressions) — the front-end's size counter in the metrics
+    /// report. Deterministic for a given source text.
+    pub fn node_count(&self) -> u64 {
+        let mut n = 0;
+        for class in &self.classes {
+            n += 1;
+            for m in &class.members {
+                n += 1;
+                match m {
+                    Member::Field(f) => {
+                        if let Some(e) = &f.init {
+                            n += expr_nodes(e);
+                        }
+                    }
+                    Member::Method(m) => n += m.body.iter().map(stmt_nodes).sum::<u64>(),
+                    Member::Ctor(c) => n += c.body.iter().map(stmt_nodes).sum::<u64>(),
+                }
+            }
+        }
+        n
+    }
+}
+
+fn stmt_nodes(s: &Stmt) -> u64 {
+    1 + match s {
+        Stmt::Block(items) => items.iter().map(stmt_nodes).sum(),
+        Stmt::Local { init, .. } => init.as_ref().map_or(0, expr_nodes),
+        Stmt::Expr(e) | Stmt::Throw(e) => expr_nodes(e),
+        Stmt::If { cond, then, els } => {
+            expr_nodes(cond) + stmt_nodes(then) + els.as_deref().map_or(0, stmt_nodes)
+        }
+        Stmt::While { cond, body } | Stmt::Do { body, cond } => expr_nodes(cond) + stmt_nodes(body),
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            init.iter().map(stmt_nodes).sum::<u64>()
+                + cond.as_ref().map_or(0, expr_nodes)
+                + update.iter().map(expr_nodes).sum::<u64>()
+                + stmt_nodes(body)
+        }
+        Stmt::Return(e, _) => e.as_ref().map_or(0, expr_nodes),
+        Stmt::Try {
+            body,
+            catches,
+            finally,
+        } => {
+            body.iter().map(stmt_nodes).sum::<u64>()
+                + catches
+                    .iter()
+                    .map(|c| 1 + c.body.iter().map(stmt_nodes).sum::<u64>())
+                    .sum::<u64>()
+                + finally
+                    .iter()
+                    .flatten()
+                    .map(stmt_nodes)
+                    .sum::<u64>()
+        }
+        Stmt::Labeled { body, .. } => stmt_nodes(body),
+        Stmt::SuperCall(args, _) => args.iter().map(expr_nodes).sum(),
+        Stmt::Break(..) | Stmt::Continue(..) | Stmt::Empty => 0,
+    }
+}
+
+fn expr_nodes(e: &Expr) -> u64 {
+    1 + match &e.kind {
+        ExprKind::IntLit(_)
+        | ExprKind::LongLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::DoubleLit(_)
+        | ExprKind::CharLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::Null
+        | ExprKind::This
+        | ExprKind::Name(_) => 0,
+        ExprKind::FieldAccess { obj, .. } => expr_nodes(obj),
+        ExprKind::Index { arr, idx } => expr_nodes(arr) + expr_nodes(idx),
+        ExprKind::CallUnqualified { args, .. } => args.iter().map(expr_nodes).sum(),
+        ExprKind::CallQualified { recv, args, .. } => {
+            expr_nodes(recv) + args.iter().map(expr_nodes).sum::<u64>()
+        }
+        ExprKind::New { args, .. } => args.iter().map(expr_nodes).sum(),
+        ExprKind::NewArray { len, .. } => expr_nodes(len),
+        ExprKind::ArrayLit { elems, .. } => elems.iter().map(expr_nodes).sum(),
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::InstanceOf { expr, .. } => expr_nodes(expr),
+        ExprKind::Binary { l, r, .. } => expr_nodes(l) + expr_nodes(r),
+        ExprKind::Assign { target, value, .. } => expr_nodes(target) + expr_nodes(value),
+        ExprKind::IncDec { target, .. } => expr_nodes(target),
+        ExprKind::Cond { cond, then, els } => expr_nodes(cond) + expr_nodes(then) + expr_nodes(els),
+    }
+}
+
 /// A class declaration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassDecl {

@@ -29,6 +29,7 @@ pub mod sema;
 pub mod span;
 pub mod token;
 
+use safetsa_telemetry::Telemetry;
 use span::CompileError;
 
 /// Compiles Java-subset source text into a resolved [`hir::Program`].
@@ -37,9 +38,19 @@ use span::CompileError;
 ///
 /// Returns the first lexical, syntactic, or semantic error.
 pub fn compile(src: &str) -> Result<hir::Program, CompileError> {
-    let tokens = lexer::lex(src)?;
-    let cu = parser::parse(tokens)?;
-    sema::analyze(&cu)
+    compile_with(src, &Telemetry::disabled())
+}
+
+/// [`compile`] with instrumentation: records per-phase wall time
+/// (`frontend.lex_ns` / `frontend.parse_ns` / `frontend.sema_ns`) and
+/// size counters (`frontend.source_bytes`, `frontend.tokens`,
+/// `frontend.ast_nodes`, `frontend.classes`, `frontend.methods`).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn compile_with(src: &str, tm: &Telemetry) -> Result<hir::Program, CompileError> {
+    compile_many_with(&[src], tm)
 }
 
 /// Compiles several source files as one program (shared class space).
@@ -48,11 +59,35 @@ pub fn compile(src: &str) -> Result<hir::Program, CompileError> {
 ///
 /// Returns the first error, without attributing the file.
 pub fn compile_many(srcs: &[&str]) -> Result<hir::Program, CompileError> {
+    compile_many_with(srcs, &Telemetry::disabled())
+}
+
+/// [`compile_many`] with instrumentation (see [`compile_with`] for the
+/// recorded metrics; counters accumulate across the input files).
+///
+/// # Errors
+///
+/// Returns the first error, without attributing the file.
+pub fn compile_many_with(srcs: &[&str], tm: &Telemetry) -> Result<hir::Program, CompileError> {
     let mut classes = Vec::new();
     for src in srcs {
-        let tokens = lexer::lex(src)?;
-        let cu = parser::parse(tokens)?;
+        tm.add("frontend.source_bytes", src.len() as u64);
+        let tokens = tm.time("frontend.lex_ns", || lexer::lex(src))?;
+        tm.add("frontend.tokens", tokens.len() as u64);
+        let cu = tm.time("frontend.parse_ns", || parser::parse(tokens))?;
+        tm.add("frontend.ast_nodes", cu.node_count());
         classes.extend(cu.classes);
     }
-    sema::analyze(&ast::CompilationUnit { classes })
+    tm.add("frontend.files", srcs.len() as u64);
+    let unit = ast::CompilationUnit { classes };
+    tm.add("frontend.classes", unit.classes.len() as u64);
+    tm.add(
+        "frontend.methods",
+        unit.classes
+            .iter()
+            .flat_map(|c| &c.members)
+            .filter(|m| matches!(m, ast::Member::Method(_) | ast::Member::Ctor(_)))
+            .count() as u64,
+    );
+    tm.time("frontend.sema_ns", || sema::analyze(&unit))
 }

@@ -29,6 +29,7 @@ pub use lower::{FnStats, LowerError};
 
 use safetsa_core::module::{Module, WellKnown};
 use safetsa_frontend::hir::Program;
+use safetsa_telemetry::Telemetry;
 
 /// The result of lowering a whole program.
 #[derive(Debug)]
@@ -64,6 +65,43 @@ impl Lowered {
 /// Returns a [`LowerError`] if the HIR violates an invariant the
 /// lowering relies on (indicative of a front-end bug).
 pub fn lower_program(prog: &Program) -> Result<Lowered, LowerError> {
+    lower_program_with(prog, &Telemetry::disabled())
+}
+
+/// [`lower_program`] with instrumentation: records the construction
+/// wall time (`ssa.lower_ns`), the §7 construction counters
+/// (`ssa.phis_candidate` / `ssa.phis_inserted` / `ssa.phis_avoided`,
+/// `ssa.null_checks_inserted` / `ssa.index_checks_inserted`), totals
+/// (`ssa.functions`, `ssa.instrs`, `ssa.phis`), and a per-function
+/// instruction-count histogram (`ssa.fn_instrs`).
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] if the HIR violates an invariant the
+/// lowering relies on (indicative of a front-end bug).
+pub fn lower_program_with(prog: &Program, tm: &Telemetry) -> Result<Lowered, LowerError> {
+    let lowered = tm.time("ssa.lower_ns", || lower_program_inner(prog))?;
+    if tm.is_enabled() {
+        let totals = lowered.totals();
+        tm.add("ssa.phis_candidate", totals.phis_candidate as u64);
+        tm.add("ssa.phis_inserted", totals.phis_inserted as u64);
+        tm.add(
+            "ssa.phis_avoided",
+            totals.phis_candidate.saturating_sub(totals.phis_inserted) as u64,
+        );
+        tm.add("ssa.null_checks_inserted", totals.null_checks as u64);
+        tm.add("ssa.index_checks_inserted", totals.index_checks as u64);
+        tm.add("ssa.functions", lowered.module.functions.len() as u64);
+        tm.add("ssa.instrs", lowered.module.instr_count() as u64);
+        tm.add("ssa.phis", lowered.module.phi_count() as u64);
+        for f in &lowered.module.functions {
+            tm.observe("ssa.fn_instrs", f.instr_count() as u64);
+        }
+    }
+    Ok(lowered)
+}
+
+fn lower_program_inner(prog: &Program) -> Result<Lowered, LowerError> {
     let (mut types, map) = typemap::build(prog);
     let mut functions = Vec::new();
     let mut stats = Vec::new();

@@ -1,0 +1,204 @@
+//! A minimal, dependency-free JSON document model.
+//!
+//! The workspace has no registry access, so instead of `serde` the
+//! metrics report is built from this small value type. Objects keep
+//! *insertion order*, which is what makes the emitted documents
+//! byte-stable: the same pipeline produces the same key sequence every
+//! run (the schema-stability golden test relies on it).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the common case for counters).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float, emitted with enough precision to round-trip.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object preserving insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Inserts (or replaces) `key` in an object; on non-objects this is
+    /// a no-op, so builder chains stay infallible.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Self {
+        if let Json::Obj(pairs) = self {
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                pairs.push((key.to_string(), value));
+            }
+        }
+        self
+    }
+
+    /// Fetches a member of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value as pretty-printed JSON, one member per line —
+    /// the layout the golden schema test diffs line by line.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{v:?}` keeps a trailing `.0` on integral floats,
+                    // so the value re-parses as a float.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_escapes() {
+        assert_eq!(Json::U64(7).render(), "7");
+        assert_eq!(Json::I64(-3).render(), "-3");
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(2.0).render(), "2.0");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Str("a\"b\n".into()).render(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order_and_replaces() {
+        let mut o = Json::obj();
+        o.set("b", Json::U64(1));
+        o.set("a", Json::U64(2));
+        o.set("b", Json::U64(3));
+        assert_eq!(o.render(), "{\"b\":3,\"a\":2}");
+        assert_eq!(o.get("b").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn pretty_puts_one_member_per_line() {
+        let mut o = Json::obj();
+        o.set("x", Json::Arr(vec![Json::U64(1), Json::U64(2)]));
+        let text = o.render_pretty();
+        assert_eq!(text.lines().count(), 6, "{text}");
+        assert!(text.contains("\"x\": ["), "{text}");
+    }
+}

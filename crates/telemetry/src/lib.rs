@@ -1,0 +1,397 @@
+//! # safetsa-telemetry
+//!
+//! Lightweight instrumentation for the SafeTSA pipeline: monotonic
+//! counters, span timers, and power-of-two histograms, collected in a
+//! single-threaded [`Telemetry`] registry and exported as a
+//! machine-readable JSON document with a stable key order.
+//!
+//! The paper's evaluation (§5, Tables 1–3 and Figures 5/6) is a set of
+//! *measurements* — check-elimination rates, encoding-size ratios,
+//! verification cost. Every pipeline stage records the quantities
+//! behind those tables into this registry, and the CLI's
+//! `--metrics-json` flag serializes it.
+//!
+//! ## Zero cost when disabled
+//!
+//! [`Telemetry::disabled`] carries no registry at all: every recording
+//! method starts with a branch on an `Option` that is `None`, so the
+//! disabled path does no allocation, no map lookup, and no clock read.
+//! Hot loops (the VM's dispatch loop) additionally gate their own
+//! bookkeeping on [`Telemetry::is_enabled`] so the per-instruction cost
+//! of disabled telemetry is one predictable branch.
+//!
+//! # Examples
+//!
+//! ```
+//! use safetsa_telemetry::Telemetry;
+//!
+//! let tm = Telemetry::enabled();
+//! tm.add("opt.checks_eliminated", 3);
+//! let sum = tm.time("frontend.lex_ns", || 1 + 1);
+//! assert_eq!(sum, 2);
+//! tm.observe("ssa.fn_instrs", 17);
+//! let doc = tm.to_json();
+//! assert_eq!(doc.get("opt").unwrap().get("checks_eliminated").unwrap().as_u64(), Some(3));
+//!
+//! // Disabled: records nothing, costs (almost) nothing.
+//! let off = Telemetry::disabled();
+//! off.add("opt.checks_eliminated", 3);
+//! assert!(!off.is_enabled());
+//! assert_eq!(off.to_json().render(), "{}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+pub use json::Json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Schema identifier stamped into every metrics document. Bump the
+/// suffix when a key is renamed or removed; adding keys is
+/// backwards-compatible and keeps the version.
+pub const SCHEMA: &str = "safetsa-metrics/1";
+
+/// A recorded metric.
+#[derive(Debug, Clone, PartialEq)]
+enum Metric {
+    /// A monotonic counter.
+    Counter(u64),
+    /// An accumulated span duration in nanoseconds.
+    TimeNs(u64),
+    /// A distribution (boxed: a `Histogram` is ~300 bytes of buckets,
+    /// far larger than the scalar variants).
+    Hist(Box<Histogram>),
+}
+
+/// A fixed-size power-of-two-bucket histogram: bucket `i` counts
+/// observations `v` with `⌈log₂(v+1)⌉ = i`. Tracks count, sum, min and
+/// max exactly; the buckets give the shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `buckets[i]` counts observations in `[2^(i-1), 2^i)` (bucket 0
+    /// counts zeros).
+    pub buckets: [u64; 33],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 33],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        self.max = self.max.max(v);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        let b = (64 - v.leading_zeros()).min(32) as usize;
+        self.buckets[b] += 1;
+    }
+
+    /// Mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("count", Json::U64(self.count));
+        o.set("sum", Json::U64(self.sum));
+        o.set("min", Json::U64(self.min));
+        o.set("max", Json::U64(self.max));
+        o.set("mean", Json::F64(self.mean()));
+        o
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// Dotted-path name → metric. A `BTreeMap` so the export order is
+    /// the sorted key order — independent of recording order, which
+    /// keeps the JSON schema stable across pipeline reorderings.
+    metrics: BTreeMap<String, Metric>,
+}
+
+/// The instrumentation handle threaded through the pipeline.
+///
+/// Cloning is not needed: stages borrow `&Telemetry`. The registry is a
+/// `RefCell` because the pipeline is single-threaded; recording from
+/// within a `time` closure on the *same* name is the only re-entrancy
+/// hazard and each method borrows only for the duration of one map
+/// update.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    inner: Option<RefCell<Registry>>,
+}
+
+impl Telemetry {
+    /// A recording registry.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            inner: Some(RefCell::new(Registry::default())),
+        }
+    }
+
+    /// A no-op registry: every recording call returns immediately.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything. Hot loops may check once
+    /// and skip their own bookkeeping entirely.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut reg = inner.borrow_mut();
+        match reg
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c = c.saturating_add(delta),
+            _ => debug_assert!(false, "metric {name} is not a counter"),
+        }
+    }
+
+    /// Sets the counter `name` to `value` (last write wins).
+    pub fn set(&self, name: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .borrow_mut()
+            .metrics
+            .insert(name.to_string(), Metric::Counter(value));
+    }
+
+    /// Reads back a counter or accumulated timer (for tests, report
+    /// assembly, and the CLI's phase table).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        match inner.borrow().metrics.get(name) {
+            Some(Metric::Counter(c)) => Some(*c),
+            Some(Metric::TimeNs(t)) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut reg = inner.borrow_mut();
+        match reg
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Hist(Box::default()))
+        {
+            Metric::Hist(h) => h.observe(value),
+            _ => debug_assert!(false, "metric {name} is not a histogram"),
+        }
+    }
+
+    /// Times `f`, accumulating the wall-clock nanoseconds under `name`.
+    /// When disabled the closure runs directly — no clock is read.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let Some(inner) = &self.inner else { return f() };
+        let start = Instant::now();
+        let out = f();
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let mut reg = inner.borrow_mut();
+        match reg
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::TimeNs(0))
+        {
+            Metric::TimeNs(t) => *t = t.saturating_add(ns),
+            _ => debug_assert!(false, "metric {name} is not a timer"),
+        }
+        out
+    }
+
+    /// Records an externally measured duration under `name`.
+    pub fn add_time_ns(&self, name: &str, ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut reg = inner.borrow_mut();
+        match reg
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::TimeNs(0))
+        {
+            Metric::TimeNs(t) => *t = t.saturating_add(ns),
+            _ => debug_assert!(false, "metric {name} is not a timer"),
+        }
+    }
+
+    /// Exports the registry as a nested JSON object: dotted metric
+    /// paths become nested objects (`"opt.cse.removed"` →
+    /// `{"opt":{"cse":{"removed":…}}}`), members in sorted-path order.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        let Some(inner) = &self.inner else { return root };
+        for (path, metric) in &inner.borrow().metrics {
+            let value = match metric {
+                Metric::Counter(c) => Json::U64(*c),
+                Metric::TimeNs(t) => Json::U64(*t),
+                Metric::Hist(h) => h.to_json(),
+            };
+            insert_path(&mut root, path, value);
+        }
+        root
+    }
+
+    /// Wraps the registry export into a full metrics document:
+    /// `{schema, command, subject, metrics}` — the shape `safetsa
+    /// compile/run --metrics-json` writes and `BENCH_pipeline.json`
+    /// aggregates.
+    pub fn report(&self, command: &str, subject: &str) -> Json {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str(SCHEMA.into()));
+        doc.set("command", Json::Str(command.into()));
+        doc.set("subject", Json::Str(subject.into()));
+        doc.set("metrics", self.to_json());
+        doc
+    }
+
+    /// Renders selected counters as a compact `k=v` line — the CLI's
+    /// stderr resource report. Missing keys render as `k=?` so a typo
+    /// is visible instead of silent. The leading path segments are
+    /// dropped from the label (`vm.steps` → `steps=…`).
+    pub fn summary_line(&self, keys: &[&str]) -> String {
+        let mut parts = Vec::with_capacity(keys.len());
+        for key in keys {
+            let label = key.rsplit('.').next().unwrap_or(key);
+            match self.counter(key) {
+                Some(v) => parts.push(format!("{label}={v}")),
+                None => parts.push(format!("{label}=?")),
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+fn insert_path(root: &mut Json, path: &str, value: Json) {
+    let mut cur = root;
+    let mut rest = path;
+    while let Some((head, tail)) = rest.split_once('.') {
+        if cur.get(head).is_none() {
+            cur.set(head, Json::obj());
+        }
+        let Json::Obj(pairs) = cur else { unreachable!() };
+        cur = &mut pairs
+            .iter_mut()
+            .find(|(k, _)| k == head)
+            .expect("just inserted")
+            .1;
+        // A leaf and a subtree may collide ("a" and "a.b"); the subtree
+        // wins — replace the scalar with an object.
+        if !matches!(cur, Json::Obj(_)) {
+            *cur = Json::obj();
+        }
+        rest = tail;
+    }
+    cur.set(rest, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_nest() {
+        let tm = Telemetry::enabled();
+        tm.add("a.b.c", 2);
+        tm.add("a.b.c", 3);
+        tm.add("a.x", 1);
+        let doc = tm.to_json();
+        assert_eq!(
+            doc.get("a").unwrap().get("b").unwrap().get("c").unwrap(),
+            &Json::U64(5)
+        );
+        assert_eq!(tm.counter("a.x"), Some(1));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let tm = Telemetry::disabled();
+        tm.add("c", 1);
+        tm.set("c", 9);
+        tm.observe("h", 4);
+        tm.add_time_ns("t", 100);
+        assert_eq!(tm.time("t", || 41 + 1), 42);
+        assert_eq!(tm.to_json().render(), "{}");
+        assert_eq!(tm.counter("c"), None);
+    }
+
+    #[test]
+    fn histogram_tracks_shape() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 8, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.sum, 1038);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert!((h.mean() - 173.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn export_order_is_sorted_not_insertion() {
+        let tm = Telemetry::enabled();
+        tm.add("z.last", 1);
+        tm.add("a.first", 1);
+        let text = tm.to_json().render();
+        assert!(text.find("a").unwrap() < text.find("z").unwrap(), "{text}");
+    }
+
+    #[test]
+    fn summary_line_labels_and_missing_keys() {
+        let tm = Telemetry::enabled();
+        tm.set("vm.steps", 12);
+        tm.set("vm.heap_bytes", 30);
+        assert_eq!(
+            tm.summary_line(&["vm.steps", "vm.heap_bytes", "vm.nope"]),
+            "steps=12 heap_bytes=30 nope=?"
+        );
+    }
+
+    #[test]
+    fn time_accumulates_across_spans() {
+        let tm = Telemetry::enabled();
+        tm.time("t.ns", || std::hint::black_box(()));
+        tm.add_time_ns("t.ns", 5);
+        let doc = tm.to_json();
+        assert!(doc.get("t").unwrap().get("ns").unwrap().as_u64().unwrap() >= 5);
+    }
+}

@@ -10,7 +10,8 @@ use safetsa_core::value::{BlockId, Literal, ValueId};
 use safetsa_rt::heap::{ArrData, Obj};
 use safetsa_rt::layout::{ClassShape, Layout, Statics};
 use safetsa_rt::{intrinsics, Heap, HeapRef, Output, Trap, Value};
-use std::collections::HashMap;
+use safetsa_telemetry::Telemetry;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A VM-level failure: loading problems, uncaught traps, or an
@@ -76,6 +77,31 @@ impl ResourceLimits {
     }
 }
 
+/// Dynamic execution statistics, collected only after
+/// [`Vm::enable_stats`] — the interpreter's dispatch loop pays one
+/// predictable branch otherwise. These are the *dynamic* counterparts
+/// of the producer's static counters: how many checks actually
+/// executed, which opcodes dominated, where allocation went.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Executed-instruction histogram keyed by opcode mnemonic. A
+    /// `BTreeMap` so exports are deterministically ordered.
+    pub opcodes: BTreeMap<&'static str, u64>,
+    /// `nullcheck` instructions executed (the paper's dynamic
+    /// check-elimination quantity).
+    pub null_checks: u64,
+    /// `indexcheck` instructions executed.
+    pub index_checks: u64,
+    /// Guest calls performed (static, virtual, and intrinsic targets).
+    pub calls: u64,
+    /// Class instances allocated by guest `new`.
+    pub objects_allocated: u64,
+    /// Arrays allocated by guest `newarray`.
+    pub arrays_allocated: u64,
+    /// Traps materialized into exception objects (throws included).
+    pub exceptions: u64,
+}
+
 /// Built-in exception classes resolved at load time.
 #[derive(Debug, Clone, Copy)]
 struct ExcClasses {
@@ -116,6 +142,10 @@ pub struct Vm<'m> {
     peak_depth: u32,
     /// Call-depth budget, if any.
     max_depth: Option<u32>,
+    /// Whether the dispatch loop updates [`VmStats`].
+    collect_stats: bool,
+    /// Dynamic counters (empty until [`Vm::enable_stats`]).
+    stats: VmStats,
 }
 
 struct Frame {
@@ -239,6 +269,8 @@ impl<'m> Vm<'m> {
             depth: 0,
             peak_depth: 0,
             max_depth: None,
+            collect_stats: false,
+            stats: VmStats::default(),
         };
         // Typed defaults for statics, then run the static initializers.
         for i in 0..n {
@@ -291,6 +323,46 @@ impl<'m> Vm<'m> {
         self.peak_depth
     }
 
+    /// Turns on dynamic statistics collection (opcode histogram, check
+    /// and allocation counters). Off by default so uninstrumented runs
+    /// pay only one branch per instruction.
+    pub fn enable_stats(&mut self) {
+        self.collect_stats = true;
+    }
+
+    /// The dynamic counters collected so far (all zero unless
+    /// [`Vm::enable_stats`] was called before running).
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// Exports the VM plane into a telemetry registry: resource-report
+    /// quantities (`vm.steps`, `vm.fuel_remaining`, `vm.peak_depth`,
+    /// `vm.heap.bytes_allocated`, `vm.heap.objects`) plus — when stats
+    /// collection was enabled — the opcode execution histogram
+    /// (`vm.opcodes.*`) and the dynamic check/allocation/call counters.
+    pub fn export_metrics(&self, tm: &Telemetry) {
+        if !tm.is_enabled() {
+            return;
+        }
+        tm.set("vm.steps", self.steps);
+        tm.set("vm.fuel_remaining", self.fuel);
+        tm.set("vm.peak_depth", u64::from(self.peak_depth));
+        tm.set("vm.heap.bytes_allocated", self.heap.bytes_allocated());
+        tm.set("vm.heap.objects", self.heap.len() as u64);
+        if self.collect_stats {
+            tm.set("vm.calls", self.stats.calls);
+            tm.set("vm.dynamic_checks.null", self.stats.null_checks);
+            tm.set("vm.dynamic_checks.index", self.stats.index_checks);
+            tm.set("vm.alloc.objects", self.stats.objects_allocated);
+            tm.set("vm.alloc.arrays", self.stats.arrays_allocated);
+            tm.set("vm.exceptions", self.stats.exceptions);
+            for (op, n) in &self.stats.opcodes {
+                tm.set(&format!("vm.opcodes.{op}"), *n);
+            }
+        }
+    }
+
     /// Runs static initializers and then the named function
     /// (`"Class.method"`), returning its result.
     ///
@@ -321,6 +393,9 @@ impl<'m> Vm<'m> {
             if self.depth >= max {
                 return Err(Trap::StackOverflow);
             }
+        }
+        if self.collect_stats {
+            self.stats.calls += 1;
         }
         self.depth += 1;
         self.peak_depth = self.peak_depth.max(self.depth);
@@ -465,6 +540,9 @@ impl<'m> Vm<'m> {
     /// path — in particular, materialising an `OutOfMemoryError` must
     /// not itself run out of memory.
     fn trap_to_object(&mut self, trap: Trap) -> Result<HeapRef, Trap> {
+        if self.collect_stats {
+            self.stats.exceptions += 1;
+        }
         let class = match trap {
             Trap::User(r) => return Ok(r),
             Trap::DivByZero => self.exc.arithmetic,
@@ -481,6 +559,9 @@ impl<'m> Vm<'m> {
 
     /// Budget-governed instance allocation (`new` in guest code).
     fn alloc_instance(&mut self, class: ClassId) -> Result<HeapRef, Trap> {
+        if self.collect_stats {
+            self.stats.objects_allocated += 1;
+        }
         let fields = self.field_defaults[class.index()].clone();
         self.heap.try_alloc(Obj::Instance {
             class: class.index(),
@@ -525,6 +606,14 @@ impl<'m> Vm<'m> {
             }
             self.fuel -= 1;
             self.steps += 1;
+            if self.collect_stats {
+                *self.stats.opcodes.entry(instr.mnemonic()).or_insert(0) += 1;
+                match instr {
+                    Instr::NullCheck { .. } => self.stats.null_checks += 1,
+                    Instr::IndexCheck { .. } => self.stats.index_checks += 1,
+                    _ => {}
+                }
+            }
             let result = self.step(frame, instr)?;
             if let Some(v) = result {
                 let rv = f
@@ -672,6 +761,9 @@ impl<'m> Vm<'m> {
                 let width = self.array_elem_width(*arr_ty)?;
                 self.heap
                     .try_reserve(safetsa_rt::heap::array_size_bytes(width, len as u64))?;
+                if self.collect_stats {
+                    self.stats.arrays_allocated += 1;
+                }
                 let data = self.fresh_array_data(*arr_ty, len as usize)?;
                 let r = self.heap.alloc(Obj::Array {
                     type_tag: arr_ty.0 as u64,

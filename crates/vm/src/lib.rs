@@ -30,4 +30,4 @@
 
 mod interp;
 
-pub use interp::{ResourceLimits, Vm, VmError};
+pub use interp::{ResourceLimits, Vm, VmError, VmStats};

@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! safetsa compile <in.java>... -o <out.tsa> [--no-opt]   produce a module
+//!     [--metrics-json PATH]   write a machine-readable metrics report
 //! safetsa run <file.tsa|file.java> --entry Class.method  decode/verify/run
 //!     [--fuel N] [--max-heap BYTES] [--max-depth N]   resource budgets;
-//!     a resource report (steps, bytes, peak depth) goes to stderr
+//!     a resource report (steps, fuel remaining, bytes, peak depth)
+//!     goes to stderr
+//!     [--metrics-json PATH]   write a metrics report (adds the VM's
+//!     opcode histogram and dynamic check counters)
 //! safetsa dump <file.java> [--function Class.method] [--view V]
 //!     show an IR view (V: safetsa|plain|lr|planes; default safetsa)
-//! safetsa stats <file.java>                               size/check stats
+//! safetsa stats <file.java>             per-phase size/time/check stats
 //! ```
 
+use safetsa_telemetry::{Json, Telemetry};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -21,9 +26,9 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!("usage: safetsa <compile|run|dump|stats> ...");
-            eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt]");
+            eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt] [--metrics-json PATH]");
             eprintln!("  run <file.tsa|file.java> --entry Class.method");
-            eprintln!("      [--fuel N] [--max-heap BYTES] [--max-depth N]");
+            eprintln!("      [--fuel N] [--max-heap BYTES] [--max-depth N] [--metrics-json PATH]");
             eprintln!("  dump <file.java> [--function Class.method]");
             eprintln!("  stats <file.java>");
             return ExitCode::from(2);
@@ -59,7 +64,13 @@ fn positional(args: &[String]) -> Vec<&String> {
             // flags with values
             if matches!(
                 a.as_str(),
-                "-o" | "--entry" | "--function" | "--fuel" | "--view" | "--max-heap" | "--max-depth"
+                "-o" | "--entry"
+                    | "--function"
+                    | "--fuel"
+                    | "--view"
+                    | "--max-heap"
+                    | "--max-depth"
+                    | "--metrics-json"
             ) {
                 skip = true;
             }
@@ -71,38 +82,85 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
-fn build_module(sources: &[&String], optimize: bool) -> Result<safetsa_core::Module, AnyError> {
+/// The producer pipeline's in-memory artifacts (kept together so the
+/// metrics report can relate the SafeTSA module to its baseline).
+struct Built {
+    prog: safetsa_frontend::hir::Program,
+    module: safetsa_core::Module,
+}
+
+fn build_module(sources: &[&String], optimize: bool, tm: &Telemetry) -> Result<Built, AnyError> {
     let texts: Vec<String> = sources
         .iter()
         .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let prog = safetsa_frontend::compile_many(&refs)?;
-    let lowered = safetsa_ssa::lower_program(&prog)?;
+    let prog = safetsa_frontend::compile_many_with(&refs, tm)?;
+    let lowered = safetsa_ssa::lower_program_with(&prog, tm)?;
     let mut module = lowered.module;
     if optimize {
-        safetsa_opt::optimize_module(&mut module);
+        safetsa_opt::optimize_module_traced(&mut module, safetsa_opt::Passes::ALL, tm);
     }
-    safetsa_core::verify::verify_module(&module)?;
-    Ok(module)
+    tm.time("verify.module_ns", || {
+        safetsa_core::verify::verify_module(&module)
+    })?;
+    Ok(Built { prog, module })
+}
+
+/// Records the Java-bytecode baseline plane and the paper's headline
+/// size ratio (SafeTSA bytes : class-file bytes, in permille so the
+/// counter stays an integer and the report stays deterministic).
+fn record_baseline(
+    prog: &safetsa_frontend::hir::Program,
+    tsa_bytes: u64,
+    tm: &Telemetry,
+) -> Result<(), AnyError> {
+    let mut bcode = tm.time("baseline.compile_ns", || {
+        safetsa_baseline::compile::compile_program(prog)
+    });
+    tm.time("baseline.verify_ns", || {
+        safetsa_baseline::verify::verify_program(prog, &mut bcode)
+    })?;
+    let class_bytes = safetsa_baseline::classfile::total_size(prog, &bcode) as u64;
+    tm.set("baseline.class_file_bytes", class_bytes);
+    tm.set("baseline.instrs", bcode.instr_count() as u64);
+    if let Some(ratio) = tsa_bytes.saturating_mul(1000).checked_div(class_bytes) {
+        tm.set("codec.size_ratio_permille", ratio);
+    }
+    Ok(())
+}
+
+fn write_metrics(path: &str, doc: &Json) -> Result<(), AnyError> {
+    std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}").into())
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
     let out = flag_value(args, "-o").ok_or("missing -o <out.tsa>")?;
     let optimize = !args.iter().any(|a| a == "--no-opt");
+    let metrics_path = flag_value(args, "--metrics-json");
+    let tm = if metrics_path.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let sources = positional(args);
     if sources.is_empty() {
         return Err("no input files".into());
     }
-    let module = build_module(&sources, optimize)?;
-    let bytes = safetsa_codec::encode_module(&module)?;
+    let built = build_module(&sources, optimize, &tm)?;
+    let bytes = safetsa_codec::encode_module_traced(&built.module, &tm)?;
     std::fs::write(out, &bytes)?;
+    if let Some(path) = metrics_path {
+        record_baseline(&built.prog, bytes.len() as u64, &tm)?;
+        let subject: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        write_metrics(path, &tm.report("compile", &subject.join(" ")))?;
+    }
     println!(
         "wrote {out}: {} bytes, {} functions, {} instructions, {} phis",
         bytes.len(),
-        module.functions.len(),
-        module.instr_count(),
-        module.phi_count()
+        built.module.functions.len(),
+        built.module.instr_count(),
+        built.module.phi_count()
     );
     Ok(())
 }
@@ -115,16 +173,34 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         .unwrap_or(1_000_000_000);
     let max_heap: Option<u64> = flag_value(args, "--max-heap").map(str::parse).transpose()?;
     let max_depth: Option<u32> = flag_value(args, "--max-depth").map(str::parse).transpose()?;
+    let metrics_path = flag_value(args, "--metrics-json");
+    // The registry also backs the stderr resource report, so `run`
+    // always records; the VM's per-opcode histogram stays off unless a
+    // metrics report was requested.
+    let tm = Telemetry::enabled();
     let files = positional(args);
     let file = files.first().ok_or("no input file")?;
     let module = if file.ends_with(".tsa") {
         let bytes = std::fs::read(file.as_str())?;
+        tm.set("codec.total_bytes", bytes.len() as u64);
         let host = safetsa_codec::HostEnv::standard();
-        safetsa_codec::decode_and_verify(&bytes, &host)?
+        tm.time("codec.decode_ns", || {
+            safetsa_codec::decode_and_verify(&bytes, &host)
+        })?
     } else {
-        build_module(&files, true)?
+        let built = build_module(&files, true, &tm)?;
+        if metrics_path.is_some() {
+            // Encoding is not needed to interpret, but the metrics
+            // report covers the codec plane for source inputs too.
+            let bytes = safetsa_codec::encode_module_traced(&built.module, &tm)?;
+            record_baseline(&built.prog, bytes.len() as u64, &tm)?;
+        }
+        built.module
     };
     let mut vm = safetsa_vm::Vm::load(&module)?;
+    if metrics_path.is_some() {
+        vm.enable_stats();
+    }
     vm.set_limits(safetsa_vm::ResourceLimits {
         fuel: Some(fuel),
         max_heap_bytes: max_heap,
@@ -132,14 +208,21 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
     });
     let result = vm.run_entry(entry);
     print!("{}", vm.output.text());
+    vm.export_metrics(&tm);
     // The report goes to stderr so scripted consumers of stdout see
     // only program output.
     eprintln!(
-        "resource report: steps={} bytes_allocated={} peak_depth={}",
-        vm.steps,
-        vm.heap.bytes_allocated(),
-        vm.peak_depth()
+        "resource report: {}",
+        tm.summary_line(&[
+            "vm.steps",
+            "vm.fuel_remaining",
+            "vm.heap.bytes_allocated",
+            "vm.peak_depth",
+        ])
     );
+    if let Some(path) = metrics_path {
+        write_metrics(path, &tm.report("run", file))?;
+    }
     if let Some(v) = result? {
         println!("=> {v:?}");
     }
@@ -149,7 +232,8 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
 fn cmd_dump(args: &[String]) -> Result<(), AnyError> {
     let files = positional(args);
     let file = files.first().ok_or("no input file")?;
-    let module = build_module(&[file], false)?;
+    let built = build_module(&[file], false, &Telemetry::disabled())?;
+    let module = built.module;
     let wanted = flag_value(args, "--function");
     let view = flag_value(args, "--view").unwrap_or("safetsa");
     for f in &module.functions {
@@ -172,24 +256,31 @@ fn cmd_dump(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
+fn ns(tm: &Telemetry, key: &str) -> u64 {
+    tm.counter(key).unwrap_or(0)
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
     let files = positional(args);
     if files.is_empty() {
         return Err("no input files".into());
     }
+    let tm = Telemetry::enabled();
     let texts: Vec<String> = files
         .iter()
         .map(|p| std::fs::read_to_string(p.as_str()).map_err(|e| format!("{p}: {e}")))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let prog = safetsa_frontend::compile_many(&refs)?;
-    let lowered = safetsa_ssa::lower_program(&prog)?;
+    let prog = safetsa_frontend::compile_many_with(&refs, &tm)?;
+    let lowered = safetsa_ssa::lower_program_with(&prog, &tm)?;
     let cons = lowered.totals();
     let mut module = lowered.module;
     let unopt_bytes = safetsa_codec::encode_module(&module)?.len();
     let unopt_instrs = module.instr_count() + module.phi_count();
-    let stats = safetsa_opt::optimize_module(&mut module);
-    let opt_bytes = safetsa_codec::encode_module(&module)?.len();
+    let stats = safetsa_opt::optimize_module_traced(&mut module, safetsa_opt::Passes::ALL, &tm);
+    let (opt_bytes, sections) = safetsa_codec::encode_module_sections(&module)?;
+    safetsa_codec::record_sections(&sections, &tm);
+    let opt_bytes = opt_bytes.len();
     let mut bcode = safetsa_baseline::compile::compile_program(&prog);
     safetsa_baseline::verify::verify_program(&prog, &mut bcode)?;
     let class_bytes = safetsa_baseline::classfile::total_size(&prog, &bcode);
@@ -218,6 +309,34 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
         "construction  : {} phis placed ({} naive candidates avoided)",
         cons.phis_inserted,
         cons.phis_candidate - cons.phis_inserted
+    );
+    println!(
+        "phases        : lex {}us, parse {}us, sema {}us, lower {}us, opt {}us",
+        ns(&tm, "frontend.lex_ns") / 1000,
+        ns(&tm, "frontend.parse_ns") / 1000,
+        ns(&tm, "frontend.sema_ns") / 1000,
+        ns(&tm, "ssa.lower_ns") / 1000,
+        ns(&tm, "opt.optimize_ns") / 1000,
+    );
+    println!(
+        "passes        : constprop -{}, cse -{}, dce -{}",
+        stats.removed_by_constprop, stats.removed_by_cse, stats.removed_by_dce
+    );
+    let total = sections.total_bits().max(1);
+    println!(
+        "encoded (opt) : type table {}b, consts {}b, cst {}b, instrs {}b, operand refs {}b, cst refs {}b, phi refs {}b",
+        sections.type_table_bits,
+        sections.const_pool_bits,
+        sections.cst_bits,
+        sections.instr_bits,
+        sections.operand_ref_bits,
+        sections.cst_ref_bits,
+        sections.phi_ref_bits,
+    );
+    println!(
+        "              : references {}% of stream, size ratio vs class file {}%",
+        (sections.operand_ref_bits + sections.cst_ref_bits + sections.phi_ref_bits) * 100 / total,
+        (opt_bytes * 100).checked_div(class_bytes).unwrap_or(0)
     );
     Ok(())
 }

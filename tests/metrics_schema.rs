@@ -1,0 +1,139 @@
+//! Golden test for `--metrics-json` schema stability.
+//!
+//! Compiles and runs one corpus program through the CLI twice and
+//! asserts (a) the two documents expose the *identical* key-path set in
+//! the identical order, (b) every value outside the wall-clock plane
+//! (keys ending in `_ns`) is bit-for-bit deterministic, and (c) the
+//! key-path lists match the checked-in golden files under
+//! `tests/golden/`. Regenerate the goldens with
+//! `UPDATE_GOLDEN=1 cargo test --test metrics_schema` after an
+//! intentional schema change.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_safetsa"))
+}
+
+/// Extracts `(dotted.key.path, raw value text)` for every leaf line of
+/// a `render_pretty` document (one member per line, 2-space indent).
+fn leaves(text: &str) -> Vec<(String, String)> {
+    let mut stack: Vec<String> = Vec::new();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        let depth = (line.len() - trimmed.len()) / 2;
+        let trimmed = trimmed.trim_end_matches(',');
+        let Some(rest) = trimmed.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, val)) = rest.split_once("\": ") else {
+            continue;
+        };
+        stack.truncate(depth.saturating_sub(1));
+        if val == "{" || val == "[" {
+            stack.push(key.to_string());
+        } else {
+            let mut path = stack.join(".");
+            if !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(key);
+            out.push((path, val.to_string()));
+        }
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, keys: &[String]) {
+    let path = golden_path(name);
+    let actual = keys.join("\n") + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDEN=1 cargo test --test metrics_schema",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "metrics key paths drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// Runs `safetsa <cmd> ... --metrics-json` and returns the document.
+fn metrics_doc(dir: &std::path::Path, args: &[&str], out_name: &str) -> String {
+    let json = dir.join(out_name);
+    let mut full: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    full.push("--metrics-json".into());
+    full.push(json.to_str().unwrap().into());
+    let st = cli().args(&full).output().unwrap();
+    assert!(
+        st.status.success(),
+        "safetsa {args:?}: {}",
+        String::from_utf8_lossy(&st.stderr)
+    );
+    std::fs::read_to_string(&json).unwrap()
+}
+
+#[test]
+fn metrics_json_schema_is_stable_and_deterministic() {
+    let entry = safetsa_bench::corpus()
+        .into_iter()
+        .find(|e| e.name == "QuickSort")
+        .expect("QuickSort in corpus");
+    let dir = std::env::temp_dir().join("safetsa-metrics-schema");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("QuickSort.java");
+    std::fs::write(&src, entry.source).unwrap();
+    let tsa = dir.join("QuickSort.tsa");
+    let src_s = src.to_str().unwrap();
+    let tsa_s = tsa.to_str().unwrap();
+
+    let compile_args = ["compile", src_s, "-o", tsa_s];
+    let run_args = ["run", src_s, "--entry", entry.entry];
+
+    let compile_a = metrics_doc(&dir, &compile_args, "compile_a.json");
+    let compile_b = metrics_doc(&dir, &compile_args, "compile_b.json");
+    let run_a = metrics_doc(&dir, &run_args, "run_a.json");
+    let run_b = metrics_doc(&dir, &run_args, "run_b.json");
+
+    for (label, a, b) in [
+        ("compile", &compile_a, &compile_b),
+        ("run", &run_a, &run_b),
+    ] {
+        let la = leaves(a);
+        let lb = leaves(b);
+        let keys_a: Vec<String> = la.iter().map(|(k, _)| k.clone()).collect();
+        let keys_b: Vec<String> = lb.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys_a, keys_b, "{label}: key paths differ between runs");
+        for ((k, va), (_, vb)) in la.iter().zip(lb.iter()) {
+            if k.ends_with("_ns") {
+                continue;
+            }
+            assert_eq!(va, vb, "{label}: value of {k} not deterministic");
+        }
+        assert!(
+            keys_a.iter().any(|k| k == "schema"),
+            "{label}: missing schema key"
+        );
+    }
+
+    let compile_keys: Vec<String> = leaves(&compile_a).into_iter().map(|(k, _)| k).collect();
+    let run_keys: Vec<String> = leaves(&run_a).into_iter().map(|(k, _)| k).collect();
+    check_golden("metrics_compile_keys.txt", &compile_keys);
+    check_golden("metrics_run_keys.txt", &run_keys);
+}

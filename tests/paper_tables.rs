@@ -1,0 +1,143 @@
+//! Paper-shaped invariants over the optimization counter plane.
+//!
+//! The SafeTSA paper's evaluation tables hinge on two properties of the
+//! producer-side optimizer: CSE-based check elimination only ever
+//! *removes* safety checks, and the reported elimination counts are the
+//! honest static difference between the pre- and post-optimization SSA
+//! — not an independently maintained (and driftable) tally. These tests
+//! pin both across the whole corpus.
+
+use safetsa_bench::corpus;
+use safetsa_core::instr::Instr;
+use safetsa_core::Module;
+use safetsa_opt::{optimize_module_traced, optimize_module_with, Passes};
+use safetsa_telemetry::Telemetry;
+
+fn static_checks(m: &Module) -> (u64, u64) {
+    let nulls = m
+        .functions
+        .iter()
+        .map(|f| f.count_instrs(|i| matches!(i, Instr::NullCheck { .. })))
+        .sum::<usize>() as u64;
+    let indexes = m
+        .functions
+        .iter()
+        .map(|f| f.count_instrs(|i| matches!(i, Instr::IndexCheck { .. })))
+        .sum::<usize>() as u64;
+    (nulls, indexes)
+}
+
+fn build(source: &str, tm: &Telemetry) -> Module {
+    let prog = safetsa_frontend::compile_with(source, tm).unwrap();
+    safetsa_ssa::lower_program_with(&prog, tm).unwrap().module
+}
+
+/// The `ssa.*_checks_inserted` counters are the static truth: they must
+/// equal the number of check instructions actually present in the
+/// freshly lowered (unoptimized) module.
+#[test]
+fn ssa_inserted_check_counters_match_static_count() {
+    for entry in corpus() {
+        let tm = Telemetry::enabled();
+        let module = build(entry.source, &tm);
+        let (nulls, indexes) = static_checks(&module);
+        assert_eq!(
+            tm.counter("ssa.null_checks_inserted"),
+            Some(nulls),
+            "{}: ssa.null_checks_inserted vs static nullcheck count",
+            entry.name
+        );
+        assert_eq!(
+            tm.counter("ssa.index_checks_inserted"),
+            Some(indexes),
+            "{}: ssa.index_checks_inserted vs static indexcheck count",
+            entry.name
+        );
+    }
+}
+
+/// CSE (with or without the other passes) never *increases* the number
+/// of safety checks — check elimination is monotone.
+#[test]
+fn cse_never_increases_check_count() {
+    let cse_only = Passes {
+        constprop: false,
+        cse: true,
+        ..Passes::ALL
+    };
+    for entry in corpus() {
+        let tm = Telemetry::disabled();
+        let base = build(entry.source, &tm);
+        let (nulls_before, indexes_before) = static_checks(&base);
+        for (label, passes) in [("cse+dce", cse_only), ("all", Passes::ALL)] {
+            let mut m = base.clone();
+            optimize_module_with(&mut m, passes);
+            let (nulls_after, indexes_after) = static_checks(&m);
+            assert!(
+                nulls_after <= nulls_before,
+                "{} [{label}]: nullchecks grew {nulls_before} -> {nulls_after}",
+                entry.name
+            );
+            assert!(
+                indexes_after <= indexes_before,
+                "{} [{label}]: indexchecks grew {indexes_before} -> {indexes_after}",
+                entry.name
+            );
+        }
+    }
+}
+
+/// The `opt.*_checks.eliminated` counters must equal the static diff of
+/// check instructions between the pre- and post-optimization modules —
+/// the reported table numbers are derived from the SSA itself.
+#[test]
+fn eliminated_check_counters_match_static_diff() {
+    let mut total_eliminated = 0u64;
+    for entry in corpus() {
+        let tm = Telemetry::enabled();
+        let mut module = build(entry.source, &tm);
+        let before = static_checks(&module);
+        optimize_module_traced(&mut module, Passes::ALL, &tm);
+        let after = static_checks(&module);
+        assert_eq!(
+            tm.counter("opt.null_checks.before"),
+            Some(before.0),
+            "{}: opt.null_checks.before",
+            entry.name
+        );
+        assert_eq!(
+            tm.counter("opt.null_checks.after"),
+            Some(after.0),
+            "{}: opt.null_checks.after",
+            entry.name
+        );
+        assert_eq!(
+            tm.counter("opt.null_checks.eliminated"),
+            Some(before.0 - after.0),
+            "{}: opt.null_checks.eliminated vs static diff",
+            entry.name
+        );
+        assert_eq!(
+            tm.counter("opt.index_checks.before"),
+            Some(before.1),
+            "{}: opt.index_checks.before",
+            entry.name
+        );
+        assert_eq!(
+            tm.counter("opt.index_checks.after"),
+            Some(after.1),
+            "{}: opt.index_checks.after",
+            entry.name
+        );
+        assert_eq!(
+            tm.counter("opt.index_checks.eliminated"),
+            Some(before.1 - after.1),
+            "{}: opt.index_checks.eliminated vs static diff",
+            entry.name
+        );
+        total_eliminated += (before.0 - after.0) + (before.1 - after.1);
+    }
+    // The paper's headline: optimization eliminates a nonzero number of
+    // checks somewhere in the corpus.
+    assert!(total_eliminated > 0, "no checks eliminated across corpus");
+}
