@@ -1,0 +1,44 @@
+//! Sparse dataflow analyses over the SafeTSA SSA IR.
+//!
+//! SafeTSA's type separation already encodes the *checked* safety
+//! properties in the planes: a value on a safe-ref plane is non-null,
+//! a value on a safe-index plane is in bounds. This crate recovers the
+//! *provable* ones — facts that hold but are not (yet) witnessed by a
+//! plane — with a small lattice-based sparse dataflow framework and
+//! three analyses built on it:
+//!
+//! - [`nullness`]: which references are provably non-null (or provably
+//!   null), seeded by safe-plane membership and propagated through
+//!   casts, phis, and `x != null` branch guards.
+//! - [`range`]: integer intervals with symbolic `arraylength`-relative
+//!   bounds, so a loop guard `i < a.length` proves `indexcheck a, i`
+//!   redundant.
+//! - [`liveness`]: backward demand propagation; which values can
+//!   influence observable behaviour.
+//!
+//! Facts flow to two consumers: the `checkelim` pass in `crates/opt`
+//! (rewriting provably redundant checks) and the IR [`lint`]er
+//! (`safetsa analyze`), which reports always-trapping sites, dead
+//! stores, unreachable code, constant branches, and unused values.
+//!
+//! The framework ([`framework`]) is *sparse*: facts live on SSA values
+//! rather than program points, with per-block flow sensitivity
+//! recovered from branch-condition [`guards`] collected in one CST
+//! walk — the CST guarantees a branch entry dominates its subtree, so
+//! no dominator queries are needed.
+
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod guards;
+pub mod lint;
+pub mod liveness;
+pub mod nullness;
+pub mod range;
+
+pub use framework::{BackwardAnalysis, Facts, Fixpoint, ForwardAnalysis, JoinLattice};
+pub use guards::{block_guards, BlockGuards, Guard};
+pub use lint::{lint_function, lint_module, Diagnostic, Severity};
+pub use liveness::Liveness;
+pub use nullness::{Nullity, NullnessAnalysis};
+pub use range::{Range, RangeAnalysis};

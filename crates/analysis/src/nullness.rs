@@ -1,0 +1,186 @@
+//! Nullness analysis: which reference values are provably non-null
+//! (or provably null) at a given block.
+//!
+//! Type separation does most of the work already: every value on a
+//! *safe-ref* plane is non-null by construction (the only producers
+//! are `new`, `newarray`, `nullcheck`, `catch`, and safe-to-safe
+//! coercions). The analysis extends that guarantee across the
+//! *unsafe* planes by following value flow: a `Downcast` from a safe
+//! plane yields the same (non-null) reference on the unsafe plane, a
+//! phi of non-null arguments is non-null, and an `x != null` branch
+//! guard proves `x` non-null inside the taken subtree.
+//!
+//! The dual facts matter too: a value that is provably *null* makes
+//! any `nullcheck` of it an always-trapping dereference, which the
+//! linter reports as an error.
+
+use crate::framework::{run_forward, Facts, Fixpoint, ForwardAnalysis, JoinLattice};
+use crate::guards::{block_guards, BlockGuards, Guard};
+use safetsa_core::cfg::Cfg;
+use safetsa_core::function::Function;
+use safetsa_core::instr::Instr;
+use safetsa_core::types::TypeTable;
+use safetsa_core::value::{BlockId, Def, Literal, ValueId};
+
+/// The nullness fact lattice: `NonNull` and `Null` join to `Unknown`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nullity {
+    /// The value can never be the null reference.
+    NonNull,
+    /// The value is always the null reference.
+    Null,
+    /// Nothing is known (lattice top).
+    Unknown,
+}
+
+impl JoinLattice for Nullity {
+    fn join(&self, other: &Nullity) -> Nullity {
+        if self == other {
+            *self
+        } else {
+            Nullity::Unknown
+        }
+    }
+}
+
+struct Analysis<'a> {
+    types: &'a TypeTable,
+    guards: &'a BlockGuards,
+}
+
+impl Analysis<'_> {
+    /// Whether the analysis models values of this plane.
+    fn models(&self, f: &Function, v: ValueId) -> bool {
+        let ty = f.value_ty(v);
+        self.types.is_ref(ty) || self.types.is_safe_ref(ty)
+    }
+
+    /// `v`'s base fact narrowed by the guards active in `b`.
+    fn narrowed(&self, facts: &Facts<Nullity>, v: ValueId, b: BlockId) -> Option<Nullity> {
+        let mut fact = facts.get(v).copied()?;
+        for g in self.guards.at(b) {
+            match g {
+                Guard::NonNull(x) if *x == v => fact = Nullity::NonNull,
+                Guard::IsNull(x) if *x == v && fact == Nullity::Unknown => fact = Nullity::Null,
+                _ => {}
+            }
+        }
+        Some(fact)
+    }
+}
+
+impl ForwardAnalysis for Analysis<'_> {
+    type Fact = Nullity;
+
+    fn preload(&mut self, f: &Function, v: ValueId) -> Option<Nullity> {
+        if !self.models(f, v) {
+            return None;
+        }
+        if self.types.is_safe_ref(f.value_ty(v)) {
+            return Some(Nullity::NonNull);
+        }
+        Some(match f.value(v).def {
+            Def::Const(i) => match f.consts[i as usize].lit {
+                Literal::Null => Nullity::Null,
+                Literal::Str(_) => Nullity::NonNull,
+                _ => Nullity::Unknown,
+            },
+            _ => Nullity::Unknown,
+        })
+    }
+
+    fn transfer(
+        &mut self,
+        f: &Function,
+        b: BlockId,
+        k: usize,
+        facts: &Facts<Nullity>,
+    ) -> Option<Nullity> {
+        let result = f.instr_result(b, k)?;
+        if !self.models(f, result) {
+            return None;
+        }
+        // Safe-ref planes are non-null by construction; this covers
+        // `new`, `newarray`, `nullcheck`, `catch`, and safe coercions.
+        if self.types.is_safe_ref(f.value_ty(result)) {
+            return Some(Nullity::NonNull);
+        }
+        Some(match &f.block(b).instrs[k] {
+            // Casts forward the same reference, so the operand's fact
+            // (narrowed by this block's guards) carries over; an
+            // operand on a safe plane is non-null outright.
+            Instr::Downcast { value, .. } | Instr::Upcast { value, .. } => {
+                if self.types.is_safe_ref(f.value_ty(*value)) {
+                    Nullity::NonNull
+                } else {
+                    self.narrowed(facts, *value, b).unwrap_or(Nullity::Unknown)
+                }
+            }
+            // Loads and calls can produce any reference.
+            _ => Nullity::Unknown,
+        })
+    }
+
+    fn phi_arg(
+        &mut self,
+        f: &Function,
+        pred: BlockId,
+        arg: ValueId,
+        facts: &Facts<Nullity>,
+    ) -> Option<Nullity> {
+        if self.types.is_safe_ref(f.value_ty(arg)) {
+            return Some(Nullity::NonNull);
+        }
+        self.narrowed(facts, arg, pred)
+    }
+}
+
+/// The fixpoint nullness facts for one function.
+#[derive(Debug)]
+pub struct NullnessAnalysis {
+    facts: Facts<Nullity>,
+    guards: BlockGuards,
+    /// Fixpoint passes until stabilization.
+    pub iterations: u64,
+}
+
+impl NullnessAnalysis {
+    /// The flow-insensitive fact for `v`.
+    pub fn of(&self, v: ValueId) -> Nullity {
+        self.facts.get(v).copied().unwrap_or(Nullity::Unknown)
+    }
+
+    /// The fact for `v` as seen from block `b` (base fact narrowed by
+    /// the branch guards dominating `b`).
+    pub fn at(&self, v: ValueId, b: BlockId) -> Nullity {
+        let mut fact = self.of(v);
+        for g in self.guards.at(b) {
+            match g {
+                Guard::NonNull(x) if *x == v => fact = Nullity::NonNull,
+                Guard::IsNull(x) if *x == v && fact == Nullity::Unknown => fact = Nullity::Null,
+                _ => {}
+            }
+        }
+        fact
+    }
+
+    /// Number of values with a computed fact (telemetry).
+    pub fn facts_computed(&self) -> u64 {
+        self.facts.computed()
+    }
+}
+
+/// Runs nullness analysis over `f`.
+pub fn analyze(types: &TypeTable, f: &Function, cfg: &Cfg) -> NullnessAnalysis {
+    let guards = block_guards(f, types);
+    let mut a = Analysis {
+        types,
+        guards: &guards,
+    };
+    let Fixpoint { facts, iterations } = run_forward(f, cfg, &mut a);
+    NullnessAnalysis {
+        facts,
+        guards,
+        iterations,
+    }
+}

@@ -19,6 +19,7 @@ fn main() {
             Passes {
                 constprop: true,
                 cse: false,
+                checkelim: false,
                 dce: false,
                 mem: MemModel::Monolithic,
             },
@@ -28,6 +29,17 @@ fn main() {
             Passes {
                 constprop: false,
                 cse: true,
+                checkelim: false,
+                dce: false,
+                mem: MemModel::Monolithic,
+            },
+        ),
+        (
+            "checkelim",
+            Passes {
+                constprop: false,
+                cse: false,
+                checkelim: true,
                 dce: false,
                 mem: MemModel::Monolithic,
             },
@@ -37,6 +49,7 @@ fn main() {
             Passes {
                 constprop: false,
                 cse: false,
+                checkelim: false,
                 dce: true,
                 mem: MemModel::Monolithic,
             },
@@ -47,10 +60,10 @@ fn main() {
     println!("Pass ablation over the corpus (instruction+phi counts)");
     println!();
     println!(
-        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Program", "base", "constp", "cse", "dce", "all", "all+fm"
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Program", "base", "constp", "cse", "checkel", "dce", "all", "all+fm"
     );
-    let mut totals = [0usize; 6];
+    let mut totals = [0usize; 7];
     for entry in safetsa_bench::corpus() {
         let prog = safetsa_frontend::compile(entry.source).expect("front-end");
         let lowered = lower_program(&prog).expect("lowering");
@@ -63,8 +76,8 @@ fn main() {
             row.push(count(&m));
         }
         println!(
-            "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            entry.name, row[0], row[1], row[2], row[3], row[4], row[5]
+            "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            entry.name, row[0], row[1], row[2], row[3], row[4], row[5], row[6]
         );
         for (t, v) in totals.iter_mut().zip(&row) {
             *t += v;

@@ -11,12 +11,14 @@
 //!                                # against the thresholds file
 //! ```
 //!
-//! The thresholds file is line-oriented: `Name max_permille`, `#`
-//! comments and blank lines ignored. A program whose
-//! `codec.size_ratio_permille` (optimized SafeTSA bytes * 1000 /
-//! class-file bytes) exceeds its threshold fails the check; a program
-//! with no threshold entry only warns, so adding corpus programs does
-//! not break CI until a threshold is blessed.
+//! The thresholds file is line-oriented: `Name max_permille
+//! [min_checks_eliminated]`, `#` comments and blank lines ignored. A
+//! program whose `codec.size_ratio_permille` (optimized SafeTSA bytes *
+//! 1000 / class-file bytes) exceeds its threshold fails the check, as
+//! does one whose eliminated safety-check count (null + index, full
+//! pass pipeline) drops below the optional floor; a program with no
+//! threshold entry only warns, so adding corpus programs does not break
+//! CI until a threshold is blessed.
 
 use safetsa_bench::{corpus, program_report, ProgramReport};
 use safetsa_telemetry::Json;
@@ -103,6 +105,14 @@ fn aggregate(reports: &[ProgramReport]) -> Json {
         "vm_steps",
         Json::U64(reports.iter().map(|r| r.steps).sum()),
     );
+    totals.set(
+        "checks_eliminated",
+        Json::U64(reports.iter().map(|r| r.checks_eliminated).sum()),
+    );
+    totals.set(
+        "checks_eliminated_cse_only",
+        Json::U64(reports.iter().map(|r| r.checks_eliminated_cse_only).sum()),
+    );
 
     let mut doc = Json::obj();
     doc.set("schema", Json::Str("safetsa-bench/1".into()));
@@ -122,7 +132,7 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut thresholds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut thresholds: BTreeMap<String, (u64, Option<u64>)> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -140,29 +150,59 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        thresholds.insert(name.to_string(), limit);
+        let floor = match parts.next() {
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!(
+                        "bench_report: {path}:{}: bad eliminated-check floor `{raw}`",
+                        lineno + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        thresholds.insert(name.to_string(), (limit, floor));
     }
 
     let mut failures = 0usize;
     for r in reports {
         match thresholds.get(r.name) {
-            Some(&limit) if r.ratio_permille > limit => {
-                eprintln!(
-                    "FAIL {:<14} encoded/class ratio {} permille exceeds threshold {}",
-                    r.name, r.ratio_permille, limit
-                );
-                failures += 1;
-            }
-            Some(&limit) => {
-                println!(
-                    "ok   {:<14} ratio {} permille (threshold {})",
-                    r.name, r.ratio_permille, limit
-                );
+            Some(&(limit, floor)) => {
+                let ratio_ok = r.ratio_permille <= limit;
+                let checks_ok = floor.is_none_or(|f| r.checks_eliminated >= f);
+                if !ratio_ok {
+                    eprintln!(
+                        "FAIL {:<14} encoded/class ratio {} permille exceeds threshold {}",
+                        r.name, r.ratio_permille, limit
+                    );
+                    failures += 1;
+                }
+                if !checks_ok {
+                    eprintln!(
+                        "FAIL {:<14} eliminated {} checks, below floor {}",
+                        r.name,
+                        r.checks_eliminated,
+                        floor.unwrap_or(0)
+                    );
+                    failures += 1;
+                }
+                if ratio_ok && checks_ok {
+                    println!(
+                        "ok   {:<14} ratio {} permille (threshold {}), {} checks eliminated (floor {})",
+                        r.name,
+                        r.ratio_permille,
+                        limit,
+                        r.checks_eliminated,
+                        floor.map_or_else(|| "none".into(), |f| f.to_string())
+                    );
+                }
             }
             None => {
                 eprintln!(
-                    "warn {:<14} no threshold entry (current ratio {} permille)",
-                    r.name, r.ratio_permille
+                    "warn {:<14} no threshold entry (current ratio {} permille, {} checks eliminated)",
+                    r.name, r.ratio_permille, r.checks_eliminated
                 );
             }
         }

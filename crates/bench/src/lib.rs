@@ -252,6 +252,22 @@ pub fn delta_pct(before: usize, after: usize) -> Option<i64> {
     Some(((after as i64 - before as i64) * 100) / before as i64)
 }
 
+/// Static safety-check count (nullchecks + indexchecks) of a module.
+pub fn static_check_count(m: &Module) -> u64 {
+    m.functions
+        .iter()
+        .map(|f| {
+            f.count_instrs(|i| {
+                matches!(
+                    i,
+                    safetsa_core::instr::Instr::NullCheck { .. }
+                        | safetsa_core::instr::Instr::IndexCheck { .. }
+                )
+            })
+        })
+        .sum::<usize>() as u64
+}
+
 /// One corpus program's full metrics document plus the headline
 /// quantities `bench_report` aggregates and regression-checks.
 pub struct ProgramReport {
@@ -268,6 +284,11 @@ pub struct ProgramReport {
     pub ratio_permille: u64,
     /// Dynamic instructions executed by the optimized module.
     pub steps: u64,
+    /// Safety checks (null + index) removed by the full pass pipeline.
+    pub checks_eliminated: u64,
+    /// Safety checks removed with `checkelim` disabled — the CSE-only
+    /// baseline the dataflow pass is measured against.
+    pub checks_eliminated_cse_only: u64,
 }
 
 /// Runs the fully instrumented pipeline over one corpus program:
@@ -287,7 +308,23 @@ pub fn program_report(entry: &CorpusEntry) -> ProgramReport {
     let lowered = safetsa_ssa::lower_program_with(&prog, &tm)
         .unwrap_or_else(|e| panic!("{}: lowering: {e}", entry.name));
     let mut module = lowered.module;
+    let checks_before = static_check_count(&module);
+    // CSE-only ablation copy: what the pipeline eliminates without the
+    // dataflow-driven checkelim pass. The delta against the full
+    // pipeline is the pass's contribution, reported per program.
+    let mut cse_only = module.clone();
+    optimize_module_with(
+        &mut cse_only,
+        Passes {
+            checkelim: false,
+            ..Passes::ALL
+        },
+    );
+    let checks_eliminated_cse_only = checks_before - static_check_count(&cse_only);
     safetsa_opt::optimize_module_traced(&mut module, Passes::ALL, &tm);
+    let checks_eliminated = checks_before - static_check_count(&module);
+    tm.set("opt.checks.eliminated", checks_eliminated);
+    tm.set("opt.checks.eliminated_cse_only", checks_eliminated_cse_only);
     verify_module(&module).unwrap_or_else(|e| panic!("{}: verify: {e}", entry.name));
     let bytes = safetsa_codec::encode_module_traced(&module, &tm)
         .unwrap_or_else(|e| panic!("{}: encode: {e}", entry.name));
@@ -316,5 +353,7 @@ pub fn program_report(entry: &CorpusEntry) -> ProgramReport {
         class_size,
         ratio_permille,
         steps,
+        checks_eliminated,
+        checks_eliminated_cse_only,
     }
 }

@@ -86,6 +86,17 @@ pub enum VerifyError {
         /// The inconsistent value.
         value: ValueId,
     },
+    /// An instruction's result arity disagrees with the recorded
+    /// results: typing says it produces a value but none is recorded,
+    /// or vice versa.
+    ResultArity {
+        /// Function name.
+        func: String,
+        /// Block of the offending instruction.
+        block: BlockId,
+        /// Instruction index within the block.
+        instr: usize,
+    },
     /// `catch` not at a handler entry, or handler entry without `catch`.
     CatchPlacement(BlockId),
     /// An `If` condition is not on the boolean plane.
@@ -126,6 +137,12 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::ValueTable { func, value } => {
                 write!(f, "{func}: value table inconsistent at {value}")
+            }
+            VerifyError::ResultArity { func, block, instr } => {
+                write!(
+                    f,
+                    "{func} {block}: instruction {instr} result arity disagrees with the value table"
+                )
             }
             VerifyError::CatchPlacement(b) => write!(f, "catch misplaced at {b}"),
             VerifyError::CondNotBool(b) => write!(f, "condition at {b} is not boolean"),
@@ -302,9 +319,10 @@ impl<'a> Checker<'a> {
                         }
                     }
                     _ => {
-                        return Err(VerifyError::ValueTable {
+                        return Err(VerifyError::ResultArity {
                             func: self.f.name.clone(),
-                            value: ValueId(u32::MAX),
+                            block: b,
+                            instr: k,
                         })
                     }
                 }

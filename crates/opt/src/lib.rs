@@ -11,11 +11,16 @@
 //! * [`cse`] — dominator-scoped available-expression CSE with the `Mem`
 //!   pseudo-value for memory dependences (stores and calls define a new
 //!   memory state; loads key on the current one),
+//! * [`checkelim`] — dataflow-driven check elimination: nullness and
+//!   range facts from `safetsa-analysis` prove checks redundant that
+//!   CSE cannot reach (no dominating identical check required),
 //! * [`dce`] — liveness-based dead instruction and phi removal.
 //!
-//! Check elimination falls out of CSE: a dominating `nullcheck`
-//! (`indexcheck`) of the same value(s) makes later ones redundant; the
-//! later check's uses are rewired to the dominating safe value.
+//! Baseline check elimination falls out of CSE: a dominating
+//! `nullcheck` (`indexcheck`) of the same value(s) makes later ones
+//! redundant; the later check's uses are rewired to the dominating
+//! safe value. [`checkelim`] goes beyond that, e.g. removing the very
+//! *first* check of a freshly allocated object.
 //!
 //! # Examples
 //!
@@ -32,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkelim;
 pub mod constprop;
 pub mod cse;
 pub mod dce;
@@ -65,6 +71,8 @@ pub struct Passes {
     pub constprop: bool,
     /// Common subexpression elimination (with `Mem`).
     pub cse: bool,
+    /// Dataflow-driven check elimination (nullness + range analysis).
+    pub checkelim: bool,
     /// Dead code and phi elimination.
     pub dce: bool,
     /// Memory model used by CSE.
@@ -76,6 +84,7 @@ impl Passes {
     pub const ALL: Passes = Passes {
         constprop: true,
         cse: true,
+        checkelim: true,
         dce: true,
         mem: MemModel::Monolithic,
     };
@@ -84,6 +93,7 @@ impl Passes {
     pub const ALL_FIELD_MEM: Passes = Passes {
         constprop: true,
         cse: true,
+        checkelim: true,
         dce: true,
         mem: MemModel::FieldPartitioned,
     };
@@ -92,6 +102,7 @@ impl Passes {
     pub const NONE: Passes = Passes {
         constprop: false,
         cse: false,
+        checkelim: false,
         dce: false,
         mem: MemModel::Monolithic,
     };
@@ -120,8 +131,12 @@ pub struct OptStats {
     pub removed_by_constprop: usize,
     /// Instructions removed by CSE.
     pub removed_by_cse: usize,
+    /// Checks rewritten away or deleted by check elimination.
+    pub removed_by_checkelim: usize,
     /// Instructions (and phis) removed by DCE.
     pub removed_by_dce: usize,
+    /// Per-analysis telemetry from check elimination.
+    pub checkelim: checkelim::CheckElimStats,
 }
 
 impl OptStats {
@@ -137,7 +152,9 @@ impl OptStats {
         self.index_checks_after += o.index_checks_after;
         self.removed_by_constprop += o.removed_by_constprop;
         self.removed_by_cse += o.removed_by_cse;
+        self.removed_by_checkelim += o.removed_by_checkelim;
         self.removed_by_dce += o.removed_by_dce;
+        self.checkelim.add(&o.checkelim);
     }
 }
 
@@ -177,6 +194,13 @@ pub fn optimize_function(types: &TypeTable, f: &Function, passes: Passes) -> (Fu
             changed |= removed > 0;
             cur = next;
         }
+        if passes.checkelim {
+            let (next, ce) = checkelim::run(types, &cur);
+            stats.removed_by_checkelim += ce.removed();
+            stats.checkelim.add(&ce);
+            changed |= ce.removed() > 0;
+            cur = next;
+        }
         if passes.dce {
             let (next, removed) = dce::run(&cur);
             stats.removed_by_dce += removed;
@@ -202,6 +226,11 @@ pub fn optimize_module(m: &mut Module) -> OptStats {
 }
 
 /// Optimizes every function of a module in place with selected passes.
+///
+/// In debug/test builds the optimized module is re-validated with
+/// [`safetsa_core::verify::verify_module`]: every pass must preserve
+/// the type-separation and safety invariants the format enforces on
+/// the wire.
 pub fn optimize_module_with(m: &mut Module, passes: Passes) -> OptStats {
     let mut total = OptStats::default();
     let functions = std::mem::take(&mut m.functions);
@@ -209,6 +238,10 @@ pub fn optimize_module_with(m: &mut Module, passes: Passes) -> OptStats {
         let (g, stats) = optimize_function(&m.types, &f, passes);
         total.add(&stats);
         m.functions.push(g);
+    }
+    #[cfg(debug_assertions)]
+    if let Err(e) = safetsa_core::verify::verify_module(m) {
+        panic!("optimizer produced an unverifiable module: {e}");
     }
     total
 }
@@ -253,5 +286,18 @@ pub fn record_stats(stats: &OptStats, tm: &Telemetry) {
     );
     tm.add("opt.constprop.removed", stats.removed_by_constprop as u64);
     tm.add("opt.cse.removed", stats.removed_by_cse as u64);
+    tm.add("opt.checkelim.removed", stats.removed_by_checkelim as u64);
     tm.add("opt.dce.removed", stats.removed_by_dce as u64);
+    let ce = &stats.checkelim;
+    tm.add("opt.checkelim.null_converted", ce.null_converted as u64);
+    tm.add("opt.checkelim.index_deleted", ce.index_deleted as u64);
+    tm.add("analysis.nullness.facts", ce.nullness_facts);
+    tm.add("analysis.nullness.checks_proven", ce.null_proven as u64);
+    tm.add(
+        "analysis.nullness.fixpoint_iterations",
+        ce.nullness_iterations,
+    );
+    tm.add("analysis.range.facts", ce.range_facts);
+    tm.add("analysis.range.checks_proven", ce.index_proven as u64);
+    tm.add("analysis.range.fixpoint_iterations", ce.range_iterations);
 }

@@ -209,6 +209,7 @@ fn pass_selection_ablation() {
         Passes {
             constprop: false,
             cse: true,
+            checkelim: false,
             dce: false,
             mem: safetsa_opt::MemModel::Monolithic,
         },

@@ -12,6 +12,10 @@
 //! safetsa dump <file.java> [--function Class.method] [--view V]
 //!     show an IR view (V: safetsa|plain|lr|planes; default safetsa)
 //! safetsa stats <file.java>             per-phase size/time/check stats
+//! safetsa analyze <in.java>... [--json]   lint the (unoptimized) IR;
+//!     exit 1 iff any error-severity diagnostic was reported
+//! safetsa verify <file.tsa>             decode + verify a module; print
+//!     the VerifyStats on success, the structured error on failure
 //! ```
 
 use safetsa_telemetry::{Json, Telemetry};
@@ -24,13 +28,17 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("dump") => cmd_dump(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("analyze") => return cmd_analyze(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         _ => {
-            eprintln!("usage: safetsa <compile|run|dump|stats> ...");
+            eprintln!("usage: safetsa <compile|run|dump|stats|analyze|verify> ...");
             eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt] [--metrics-json PATH]");
             eprintln!("  run <file.tsa|file.java> --entry Class.method");
             eprintln!("      [--fuel N] [--max-heap BYTES] [--max-depth N] [--metrics-json PATH]");
             eprintln!("  dump <file.java> [--function Class.method]");
             eprintln!("  stats <file.java>");
+            eprintln!("  analyze <in.java>... [--json]");
+            eprintln!("  verify <file.tsa>");
             return ExitCode::from(2);
         }
     };
@@ -253,6 +261,110 @@ fn cmd_dump(args: &[String]) -> Result<(), AnyError> {
         print!("{text}");
         println!();
     }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    match run_analyze(args) {
+        Ok(false) => ExitCode::SUCCESS,
+        // Error-severity diagnostics: nonzero, but distinct from the
+        // exit 2 an unbuildable input produces.
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("safetsa: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Lints the unoptimized IR of the given sources. Returns whether any
+/// error-severity diagnostic was reported.
+fn run_analyze(args: &[String]) -> Result<bool, AnyError> {
+    let json = args.iter().any(|a| a == "--json");
+    let sources = positional(args);
+    if sources.is_empty() {
+        return Err("no input files".into());
+    }
+    // The linter reads the freshly lowered module: diagnostics point at
+    // what the programmer wrote, not at what the optimizer left behind.
+    let built = build_module(&sources, false, &Telemetry::disabled())?;
+    let diags = safetsa_analysis::lint_module(&built.module);
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == safetsa_analysis::Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if json {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("safetsa-analyze/1".into()));
+        let subject: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        doc.set("subject", Json::Str(subject.join(" ")));
+        doc.set("errors", Json::U64(errors as u64));
+        doc.set("warnings", Json::U64(warnings as u64));
+        let items = diags
+            .iter()
+            .map(|d| {
+                let mut o = Json::obj();
+                o.set("severity", Json::Str(d.severity.name().into()));
+                o.set("kind", Json::Str(d.kind.into()));
+                o.set("function", Json::Str(d.function.clone()));
+                o.set("block", Json::U64(u64::from(d.block.0)));
+                o.set(
+                    "instr",
+                    d.instr.map_or(Json::Null, |i| Json::U64(i as u64)),
+                );
+                o.set("message", Json::Str(d.message.clone()));
+                o
+            })
+            .collect();
+        doc.set("diagnostics", Json::Arr(items));
+        print!("{}", doc.render_pretty());
+    } else {
+        for d in &diags {
+            let site = match d.instr {
+                Some(i) => format!("{} instr {i}", d.block),
+                None => format!("{}", d.block),
+            };
+            println!(
+                "{}: {} {}: [{}] {}",
+                d.severity.name(),
+                d.function,
+                site,
+                d.kind,
+                d.message
+            );
+        }
+        println!(
+            "{} error{}, {} warning{}",
+            errors,
+            if errors == 1 { "" } else { "s" },
+            warnings,
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+    Ok(errors > 0)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), AnyError> {
+    let files = positional(args);
+    let file = files.first().ok_or("no input file")?;
+    if !file.ends_with(".tsa") {
+        return Err(format!("{file}: expected a .tsa module").into());
+    }
+    let bytes = std::fs::read(file.as_str())?;
+    let host = safetsa_codec::HostEnv::standard();
+    // Decode *without* the bundled verification so a verifier rejection
+    // surfaces as the structured `VerifyError`, not a decode error.
+    let module = safetsa_codec::decode_module(&bytes, &host)?;
+    let stats = safetsa_core::verify::verify_module(&module)?;
+    println!(
+        "{file}: OK ({} bytes, {} functions; verified {} instructions, {} phis, {} operand references)",
+        bytes.len(),
+        module.functions.len(),
+        stats.instrs,
+        stats.phis,
+        stats.operands
+    );
     Ok(())
 }
 

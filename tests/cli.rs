@@ -128,3 +128,109 @@ fn usage_on_no_args() {
     assert!(!st.status.success());
     assert!(String::from_utf8_lossy(&st.stderr).contains("usage"));
 }
+
+#[test]
+fn analyze_clean_program_exits_zero() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test5");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("Clean.java");
+    std::fs::write(
+        &src,
+        "class Clean { static int main() {
+             int[] a = new int[4];
+             int s = 0;
+             for (int i = 0; i < a.length; i++) { a[i] = i; s += a[i]; }
+             return s;
+         } }",
+    )
+    .unwrap();
+    let st = cli()
+        .args(["analyze", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        st.status.success(),
+        "{}",
+        String::from_utf8_lossy(&st.stderr)
+    );
+    let text = String::from_utf8_lossy(&st.stdout);
+    assert!(text.contains("0 errors"), "{text}");
+}
+
+#[test]
+fn analyze_reports_always_null_deref_as_error() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test6");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("Npe.java");
+    // The dereference is outside any try, so it is an error and the
+    // exit code is 1 (distinct from exit 2 for unbuildable input).
+    std::fs::write(
+        &src,
+        "class Npe { static int main() { int[] x = null; return x[0]; } }",
+    )
+    .unwrap();
+    let st = cli()
+        .args(["analyze", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(st.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&st.stdout);
+    assert!(text.contains("always-null-deref"), "{text}");
+    assert!(text.contains("Npe.main"), "{text}");
+
+    // JSON mode carries the same verdict, machine-readably.
+    let js = cli()
+        .args(["analyze", src.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(js.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&js.stdout);
+    assert!(text.contains("\"schema\": \"safetsa-analyze/1\""), "{text}");
+    assert!(text.contains("\"kind\": \"always-null-deref\""), "{text}");
+    assert!(text.contains("\"severity\": \"error\""), "{text}");
+}
+
+#[test]
+fn verify_accepts_good_module_and_rejects_garbage() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test7");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("V.java");
+    let out = dir.join("v.tsa");
+    std::fs::write(
+        &src,
+        "class V { static int main() { return 6 * 7; } }",
+    )
+    .unwrap();
+    let st = cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(st.status.success());
+
+    let ok = cli()
+        .args(["verify", out.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let text = String::from_utf8_lossy(&ok.stdout);
+    assert!(text.contains("OK"), "{text}");
+    assert!(text.contains("verified"), "{text}");
+
+    let bad_path = dir.join("bad.tsa");
+    std::fs::write(&bad_path, b"not a module").unwrap();
+    let bad = cli()
+        .args(["verify", bad_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("safetsa:"));
+}

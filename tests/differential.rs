@@ -1,19 +1,23 @@
 //! Differential execution: every program is compiled once, then run
-//! both through the SafeTSA pipeline (lower → verify → interpret) and
-//! through the Java-bytecode baseline (compile → dataflow-verify →
-//! interpret). Results and captured output must agree exactly.
+//! through the SafeTSA pipeline (lower → verify → interpret), through
+//! the *optimized* SafeTSA pipeline (all producer passes, checkelim
+//! included), and through the Java-bytecode baseline (compile →
+//! dataflow-verify → interpret). Results and captured output must agree
+//! exactly across all three.
 //!
 //! This pins the reproduction's central soundness claim: SafeTSA
-//! preserves the program's semantics while changing its representation.
+//! preserves the program's semantics while changing its representation
+//! — and the producer-side optimizer preserves them again.
 
 use safetsa_baseline::{compile as bcompile, interp::Bvm, verify as bverify};
 use safetsa_core::verify::verify_module;
 use safetsa_frontend::compile;
+use safetsa_opt::{optimize_module_with, Passes};
 use safetsa_rt::Value;
 use safetsa_ssa::lower_program;
 use safetsa_vm::Vm;
 
-/// Runs `entry` under both engines and asserts identical outcomes.
+/// Runs `entry` under all three engines and asserts identical outcomes.
 fn differential(src: &str, entry: &str) -> (Option<Value>, String) {
     let prog = compile(src).expect("front-end accepts");
     // SafeTSA side.
@@ -23,6 +27,14 @@ fn differential(src: &str, entry: &str) -> (Option<Value>, String) {
     vm.set_fuel(100_000_000);
     let tsa_result = vm.run_entry(entry).expect("SafeTSA run");
     let tsa_out = vm.output.text().to_string();
+    // Optimized SafeTSA side: every producer pass, checkelim included.
+    let mut optimized = lowered.module.clone();
+    optimize_module_with(&mut optimized, Passes::ALL);
+    verify_module(&optimized).expect("optimized SafeTSA verifies");
+    let mut ovm = Vm::load(&optimized).expect("optimized vm loads");
+    ovm.set_fuel(100_000_000);
+    let opt_result = ovm.run_entry(entry).expect("optimized SafeTSA run");
+    let opt_out = ovm.output.text().to_string();
     // Baseline side.
     let mut code = bcompile::compile_program(&prog);
     bverify::verify_program(&prog, &mut code).expect("bytecode verifies");
@@ -30,7 +42,18 @@ fn differential(src: &str, entry: &str) -> (Option<Value>, String) {
     bvm.set_fuel(100_000_000);
     let b_result = bvm.run_entry(entry).expect("baseline run");
     let b_out = bvm.output.text().to_string();
-    // Compare. Baseline returns bool/char as ints; normalize.
+    // Optimization must be invisible: bit-identical result and output.
+    match (&tsa_result, &opt_result) {
+        (Some(x), Some(y)) => assert!(
+            x.bits_eq(*y),
+            "optimizer changed result: {x:?} vs {y:?}\n{src}"
+        ),
+        (None, None) => {}
+        (x, y) => panic!("optimizer changed result arity: {x:?} vs {y:?}"),
+    }
+    assert_eq!(tsa_out, opt_out, "optimizer changed output for {src}");
+    // Compare against the baseline. It returns bool/char as ints;
+    // normalize.
     let norm = |v: Option<Value>| -> Option<Value> {
         v.map(|v| match v {
             Value::Z(b) => Value::I(i32::from(b)),
@@ -49,6 +72,40 @@ fn differential(src: &str, entry: &str) -> (Option<Value>, String) {
     }
     assert_eq!(tsa_out, b_out, "output mismatch for {src}");
     (norm(Some(Value::I(0))).and(None), tsa_out)
+}
+
+/// Corpus-wide: every corpus program still verifies after the full pass
+/// pipeline (checkelim included) and runs bit-identically — output,
+/// result, and exception behaviour — to its unoptimized module.
+#[test]
+fn corpus_optimized_matches_unoptimized() {
+    for entry in safetsa_bench::corpus() {
+        let prog = compile(entry.source).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let lowered = lower_program(&prog).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let mut optimized = lowered.module.clone();
+        optimize_module_with(&mut optimized, Passes::ALL);
+        verify_module(&optimized)
+            .unwrap_or_else(|e| panic!("{}: optimized module rejected: {e}", entry.name));
+        let run = |m: &safetsa_core::Module| {
+            let mut vm = Vm::load(m).expect("loads");
+            vm.set_fuel(500_000_000);
+            // Keep VM errors (uncaught exceptions, exhaustion) in the
+            // comparison: the optimizer must not change them either.
+            let r = vm.run_entry(entry.entry).map_err(|e| e.to_string());
+            (r, vm.output.text().to_string())
+        };
+        let (r1, o1) = run(&lowered.module);
+        let (r2, o2) = run(&optimized);
+        assert_eq!(o1, o2, "{}: output diverged", entry.name);
+        match (r1, r2) {
+            (Ok(Some(x)), Ok(Some(y))) => {
+                assert!(x.bits_eq(y), "{}: {x:?} vs {y:?}", entry.name);
+            }
+            (Ok(None), Ok(None)) => {}
+            (Err(a), Err(b)) => assert_eq!(a, b, "{}: error diverged", entry.name),
+            (a, b) => panic!("{}: outcome diverged: {a:?} vs {b:?}", entry.name),
+        }
+    }
 }
 
 #[test]

@@ -63,13 +63,24 @@ fn cse_never_increases_check_count() {
     let cse_only = Passes {
         constprop: false,
         cse: true,
+        checkelim: false,
+        ..Passes::ALL
+    };
+    let checkelim_only = Passes {
+        constprop: false,
+        cse: false,
+        checkelim: true,
         ..Passes::ALL
     };
     for entry in corpus() {
         let tm = Telemetry::disabled();
         let base = build(entry.source, &tm);
         let (nulls_before, indexes_before) = static_checks(&base);
-        for (label, passes) in [("cse+dce", cse_only), ("all", Passes::ALL)] {
+        for (label, passes) in [
+            ("cse+dce", cse_only),
+            ("checkelim+dce", checkelim_only),
+            ("all", Passes::ALL),
+        ] {
             let mut m = base.clone();
             optimize_module_with(&mut m, passes);
             let (nulls_after, indexes_after) = static_checks(&m);
@@ -85,6 +96,43 @@ fn cse_never_increases_check_count() {
             );
         }
     }
+}
+
+/// The dataflow-driven `checkelim` pass reaches strictly beyond CSE:
+/// with it enabled, every corpus program eliminates at least as many
+/// checks as CSE alone, and corpus-wide strictly more.
+#[test]
+fn checkelim_eliminates_more_than_cse_alone() {
+    let without = Passes {
+        checkelim: false,
+        ..Passes::ALL
+    };
+    let mut total_cse_only = 0u64;
+    let mut total_with = 0u64;
+    for entry in corpus() {
+        let tm = Telemetry::disabled();
+        let base = build(entry.source, &tm);
+        let (nb, ib) = static_checks(&base);
+        let mut m_cse = base.clone();
+        optimize_module_with(&mut m_cse, without);
+        let (n1, i1) = static_checks(&m_cse);
+        let mut m_all = base.clone();
+        optimize_module_with(&mut m_all, Passes::ALL);
+        let (n2, i2) = static_checks(&m_all);
+        let elim_cse = (nb - n1) + (ib - i1);
+        let elim_all = (nb - n2) + (ib - i2);
+        assert!(
+            elim_all >= elim_cse,
+            "{}: checkelim regressed eliminations ({elim_cse} -> {elim_all})",
+            entry.name
+        );
+        total_cse_only += elim_cse;
+        total_with += elim_all;
+    }
+    assert!(
+        total_with > total_cse_only,
+        "checkelim added nothing corpus-wide ({total_cse_only} vs {total_with})"
+    );
 }
 
 /// The `opt.*_checks.eliminated` counters must equal the static diff of
