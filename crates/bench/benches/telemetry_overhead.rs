@@ -18,10 +18,10 @@ fn pipeline_plain(source: &str) -> Vec<u8> {
 }
 
 fn pipeline_traced(source: &str, tm: &Telemetry) -> Vec<u8> {
-    let prog = safetsa_frontend::compile_with(source, tm).unwrap();
-    let mut module = safetsa_ssa::lower_program_with(&prog, tm).unwrap().module;
-    safetsa_opt::optimize_module_traced(&mut module, Passes::ALL, tm);
-    safetsa_codec::encode_module_traced(&module, tm).unwrap()
+    let prog = safetsa_frontend::compile_sources(&[source], tm).unwrap();
+    let mut module = safetsa_ssa::construct(&prog, tm).unwrap().module;
+    safetsa_opt::optimize(&mut module, Passes::ALL, tm);
+    safetsa_codec::encode(&module, tm).unwrap()
 }
 
 fn bench_telemetry_overhead(c: &mut Criterion) {

@@ -5,8 +5,9 @@
 //! reduction each pass is responsible for.
 
 use safetsa_core::verify::verify_module;
-use safetsa_opt::{optimize_module_with, MemModel, Passes};
+use safetsa_opt::{MemModel, Passes};
 use safetsa_ssa::lower_program;
+use safetsa_telemetry::Telemetry;
 
 fn count(m: &safetsa_core::Module) -> usize {
     m.instr_count() + m.phi_count()
@@ -71,7 +72,7 @@ fn main() {
         let mut row = vec![base];
         for (_, passes) in configs {
             let mut m = lowered.module.clone();
-            optimize_module_with(&mut m, *passes);
+            safetsa_opt::optimize(&mut m, *passes, &Telemetry::disabled());
             verify_module(&m).expect("verifies");
             row.push(count(&m));
         }

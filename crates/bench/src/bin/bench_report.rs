@@ -6,10 +6,18 @@
 //!
 //! ```text
 //! bench_report [--out PATH]      # write the aggregate report
+//!   [--jobs N]                   # compile the corpus on N workers
+//!                                # (0 = one per CPU; default serial)
+//!   [--cache-dir PATH]           # content-addressed module cache
 //! bench_report --check PATH      # regression gate: compare each
 //!                                # program's encoded-size ratio
 //!                                # against the thresholds file
 //! ```
+//!
+//! The per-program sections are byte-identical whatever `--jobs` says
+//! (scheduling never shows); the batch-level measurements — worker
+//! count, wall time vs summed task time, cache hits/misses — land in
+//! `totals.driver`.
 //!
 //! The thresholds file is line-oriented: `Name max_permille
 //! [min_checks_eliminated]`, `#` comments and blank lines ignored. A
@@ -20,15 +28,19 @@
 //! threshold entry only warns, so adding corpus programs does not break
 //! CI until a threshold is blessed.
 
-use safetsa_bench::{corpus, program_report, ProgramReport};
+use safetsa_bench::{corpus_report, ProgramReport};
+use safetsa_driver::batch::BatchReport;
 use safetsa_telemetry::Json;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_pipeline.json");
     let mut check_path: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,18 +58,32 @@ fn main() -> ExitCode {
                     None => return usage("--check needs a path"),
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => jobs = n,
+                    None => return usage("--jobs needs a worker count"),
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cache_dir = Some(PathBuf::from(p)),
+                    None => return usage("--cache-dir needs a path"),
+                }
+            }
             other => return usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
 
-    let reports: Vec<ProgramReport> = corpus().iter().map(program_report).collect();
+    let (reports, batch) = corpus_report(jobs, cache_dir.as_deref());
 
     if let Some(path) = check_path {
         return check_thresholds(&reports, &path);
     }
 
-    let doc = aggregate(&reports);
+    let doc = aggregate(&reports, &batch);
     if let Err(e) = std::fs::write(&out_path, doc.render_pretty()) {
         eprintln!("bench_report: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -69,12 +95,22 @@ fn main() -> ExitCode {
         reports.iter().map(|r| r.class_size).sum::<u64>(),
         total_ratio_permille(&reports),
     );
+    println!(
+        "bench_report: {} worker(s), {} ms wall ({} ms summed tasks, {}.{:03}x speedup), cache {} hit(s) / {} miss(es)",
+        batch.jobs,
+        batch.wall_ns / 1_000_000,
+        batch.tasks_wall_ns / 1_000_000,
+        batch.speedup_permille() / 1000,
+        batch.speedup_permille() % 1000,
+        batch.cache_hits,
+        batch.cache_misses,
+    );
     ExitCode::SUCCESS
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_report: {msg}");
-    eprintln!("usage: bench_report [--out PATH] [--check PATH]");
+    eprintln!("usage: bench_report [--out PATH] [--jobs N] [--cache-dir PATH] [--check PATH]");
     ExitCode::FAILURE
 }
 
@@ -84,11 +120,21 @@ fn total_ratio_permille(reports: &[ProgramReport]) -> u64 {
     (opt * 1000).checked_div(class).unwrap_or(0)
 }
 
-/// Builds the `safetsa-bench/1` aggregate: corpus totals up front, then
-/// the full per-program metrics documents.
-fn aggregate(reports: &[ProgramReport]) -> Json {
+/// Builds the `safetsa-bench/1` aggregate: corpus totals up front
+/// (including the batch-driver measurements), then the full per-program
+/// metrics documents.
+fn aggregate(reports: &[ProgramReport], batch: &BatchReport) -> Json {
+    let mut driver = Json::obj();
+    driver.set("jobs", Json::U64(batch.jobs as u64));
+    driver.set("wall_ns", Json::U64(batch.wall_ns));
+    driver.set("tasks_wall_ns", Json::U64(batch.tasks_wall_ns));
+    driver.set("speedup_permille", Json::U64(batch.speedup_permille()));
+    driver.set("cache_hits", Json::U64(batch.cache_hits));
+    driver.set("cache_misses", Json::U64(batch.cache_misses));
+
     let mut totals = Json::obj();
     totals.set("programs", Json::U64(reports.len() as u64));
+    totals.set("driver", driver);
     totals.set(
         "safetsa_opt_bytes",
         Json::U64(reports.iter().map(|r| r.opt_size).sum()),

@@ -21,11 +21,14 @@ use safetsa_baseline::{classfile, compile as bcompile, verify as bverify};
 use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
 use safetsa_core::verify::verify_module;
 use safetsa_core::Module;
+use safetsa_driver::batch::{run_batch, BatchInput, BatchOptions, BatchReport};
+use safetsa_driver::passes_fingerprint;
 use safetsa_frontend::hir::Program;
-use safetsa_opt::{optimize_module_with, OptStats, Passes};
+use safetsa_opt::{OptStats, Passes};
 use safetsa_rt::Value;
 use safetsa_ssa::{lower_program, FnStats};
 use safetsa_telemetry::{Json, Telemetry};
+use std::path::Path;
 
 /// One corpus program.
 #[derive(Debug, Clone, Copy)]
@@ -134,7 +137,7 @@ pub fn build_pipeline(entry: &CorpusEntry) -> Pipeline {
     verify_module(&lowered.module).unwrap_or_else(|e| panic!("{}: verify: {e}", entry.name));
     let module = lowered.module;
     let mut optimized = module.clone();
-    optimize_module_with(&mut optimized, Passes::ALL);
+    safetsa_opt::optimize(&mut optimized, Passes::ALL, &Telemetry::disabled());
     verify_module(&optimized).unwrap_or_else(|e| panic!("{}: verify optimized: {e}", entry.name));
     let bytes =
         encode_module(&module).unwrap_or_else(|e| panic!("{}: encode: {e}", entry.name));
@@ -166,7 +169,7 @@ pub fn measure(entry: &CorpusEntry) -> Measurement {
     let construction = lowered.totals();
     let module = lowered.module;
     let mut optimized = module.clone();
-    let opt = optimize_module_with(&mut optimized, Passes::ALL);
+    let opt = safetsa_opt::optimize(&mut optimized, Passes::ALL, &Telemetry::disabled());
     verify_module(&optimized).unwrap_or_else(|e| panic!("{}: verify optimized: {e}", entry.name));
     // Wire sizes round-trip through the decoder as a sanity check.
     let host = HostEnv::standard();
@@ -291,21 +294,42 @@ pub struct ProgramReport {
     pub checks_eliminated_cse_only: u64,
 }
 
-/// Runs the fully instrumented pipeline over one corpus program:
-/// frontend, SSA construction, producer optimization, encoding with
-/// section accounting, the bytecode baseline, and an interpreted run of
-/// the optimized module with dynamic statistics. Every layer records
-/// into one registry; the result is the per-program metrics document.
+impl ProgramReport {
+    /// Reconstructs the headline quantities from a metrics registry —
+    /// the inverse of [`record_program`], and the reason every headline
+    /// lives in a counter: a registry replayed from the batch cache
+    /// carries everything the report needs.
+    pub fn from_metrics(name: &'static str, tm: &Telemetry) -> ProgramReport {
+        let c = |key: &str| tm.counter(key).unwrap_or(0);
+        ProgramReport {
+            name,
+            json: tm.report("bench-report", name),
+            opt_size: c("codec.total_bytes"),
+            class_size: c("baseline.class_file_bytes"),
+            ratio_permille: c("codec.size_ratio_permille"),
+            steps: c("vm.steps"),
+            checks_eliminated: c("opt.checks.eliminated"),
+            checks_eliminated_cse_only: c("opt.checks.eliminated_cse_only"),
+        }
+    }
+}
+
+/// Runs the fully instrumented pipeline over one corpus program,
+/// recording into `tm`: frontend, SSA construction, producer
+/// optimization, encoding with section accounting, the bytecode
+/// baseline, and an interpreted run of the optimized module with
+/// dynamic statistics. Returns the optimized module's wire bytes; every
+/// quantity `bench_report` aggregates is recorded as a counter, so the
+/// registry alone reconstructs a [`ProgramReport`].
 ///
 /// # Panics
 ///
 /// Panics when any stage fails — corpus programs are expected to be
 /// fully supported.
-pub fn program_report(entry: &CorpusEntry) -> ProgramReport {
-    let tm = Telemetry::enabled();
-    let prog = safetsa_frontend::compile_with(entry.source, &tm)
+pub fn record_program(entry: &CorpusEntry, tm: &Telemetry) -> Vec<u8> {
+    let prog = safetsa_frontend::compile_sources(&[entry.source], tm)
         .unwrap_or_else(|e| panic!("{}: front-end: {e}", entry.name));
-    let lowered = safetsa_ssa::lower_program_with(&prog, &tm)
+    let lowered = safetsa_ssa::construct(&prog, tm)
         .unwrap_or_else(|e| panic!("{}: lowering: {e}", entry.name));
     let mut module = lowered.module;
     let checks_before = static_check_count(&module);
@@ -313,20 +337,21 @@ pub fn program_report(entry: &CorpusEntry) -> ProgramReport {
     // dataflow-driven checkelim pass. The delta against the full
     // pipeline is the pass's contribution, reported per program.
     let mut cse_only = module.clone();
-    optimize_module_with(
+    safetsa_opt::optimize(
         &mut cse_only,
         Passes {
             checkelim: false,
             ..Passes::ALL
         },
+        &Telemetry::disabled(),
     );
     let checks_eliminated_cse_only = checks_before - static_check_count(&cse_only);
-    safetsa_opt::optimize_module_traced(&mut module, Passes::ALL, &tm);
+    safetsa_opt::optimize(&mut module, Passes::ALL, tm);
     let checks_eliminated = checks_before - static_check_count(&module);
     tm.set("opt.checks.eliminated", checks_eliminated);
     tm.set("opt.checks.eliminated_cse_only", checks_eliminated_cse_only);
     verify_module(&module).unwrap_or_else(|e| panic!("{}: verify: {e}", entry.name));
-    let bytes = safetsa_codec::encode_module_traced(&module, &tm)
+    let bytes = safetsa_codec::encode(&module, tm)
         .unwrap_or_else(|e| panic!("{}: encode: {e}", entry.name));
     // Baseline plane + headline ratio.
     let mut bcode = bcompile::compile_program(&prog);
@@ -344,16 +369,58 @@ pub fn program_report(entry: &CorpusEntry) -> ProgramReport {
     vm.set_fuel(500_000_000);
     vm.run_entry(entry.entry)
         .unwrap_or_else(|e| panic!("{}: vm: {e}", entry.name));
-    vm.export_metrics(&tm);
-    let steps = vm.steps;
-    ProgramReport {
-        name: entry.name,
-        json: tm.report("bench-report", entry.name),
-        opt_size,
-        class_size,
-        ratio_permille,
-        steps,
-        checks_eliminated,
-        checks_eliminated_cse_only,
-    }
+    vm.export_metrics(tm);
+    bytes
+}
+
+/// Runs the fully instrumented pipeline over one corpus program and
+/// packages the per-program metrics document.
+///
+/// # Panics
+///
+/// Panics when any stage fails.
+pub fn program_report(entry: &CorpusEntry) -> ProgramReport {
+    let tm = Telemetry::enabled();
+    record_program(entry, &tm);
+    ProgramReport::from_metrics(entry.name, &tm)
+}
+
+/// Sweeps the whole corpus through the parallel batch driver: `jobs`
+/// workers (`0` = one per CPU), an optional content-addressed cache,
+/// and one [`record_program`] task per program. Returns the per-program
+/// reports (in corpus order — scheduling never shows) together with the
+/// batch-level [`BatchReport`] (merged metrics, wall times, cache
+/// hit/miss counts).
+///
+/// # Panics
+///
+/// Panics when any program fails or the cache directory is unusable.
+pub fn corpus_report(jobs: usize, cache_dir: Option<&Path>) -> (Vec<ProgramReport>, BatchReport) {
+    let entries = corpus();
+    let inputs: Vec<BatchInput> = entries
+        .iter()
+        .map(|e| BatchInput {
+            name: e.name.to_string(),
+            source: e.source.to_string(),
+        })
+        .collect();
+    let mut opts = BatchOptions::new(format!(
+        "bench-report/1/{}",
+        passes_fingerprint(&Passes::ALL)
+    ));
+    opts.jobs = jobs;
+    opts.cache_dir = cache_dir.map(Path::to_path_buf);
+    opts.telemetry = true;
+    let report = run_batch(&inputs, &opts, |idx, _input| {
+        let tm = Telemetry::enabled();
+        let bytes = record_program(&entries[idx], &tm);
+        Ok((bytes, tm))
+    })
+    .unwrap_or_else(|e| panic!("corpus batch: {e}"));
+    let reports = entries
+        .iter()
+        .zip(&report.items)
+        .map(|(e, item)| ProgramReport::from_metrics(e.name, &item.metrics))
+        .collect();
+    (reports, report)
 }

@@ -141,7 +141,17 @@ impl Sections {
 /// Returns [`EncodeError`] when the module is not in verified shape —
 /// the encoder refuses to emit garbage.
 pub fn encode_module(m: &Module) -> Result<Vec<u8>, EncodeError> {
-    encode_module_sections(m).map(|(bytes, _)| bytes)
+    encode_sections(m).map(|(bytes, _)| bytes)
+}
+
+/// Deprecated alias for [`encode_sections`].
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when the module is not in verified shape.
+#[deprecated(note = "use `safetsa::Pipeline` or `encode_sections`")]
+pub fn encode_module_sections(m: &Module) -> Result<(Vec<u8>, Sections), EncodeError> {
+    encode_sections(m)
 }
 
 /// [`encode_module`] returning the per-section bit breakdown alongside
@@ -151,7 +161,7 @@ pub fn encode_module(m: &Module) -> Result<Vec<u8>, EncodeError> {
 /// # Errors
 ///
 /// Returns [`EncodeError`] when the module is not in verified shape.
-pub fn encode_module_sections(m: &Module) -> Result<(Vec<u8>, Sections), EncodeError> {
+pub fn encode_sections(m: &Module) -> Result<(Vec<u8>, Sections), EncodeError> {
     let mut w = BitWriter::new();
     let mut sec = Sections::default();
     w.bits(MAGIC as u64, 32);

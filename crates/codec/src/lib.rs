@@ -47,25 +47,38 @@ pub mod refs;
 
 pub use bits::DecodeError;
 pub use dec::{decode_and_verify, decode_module, HostEnv};
-pub use enc::{encode_module, encode_module_sections, EncodeError, Sections};
+pub use enc::{encode_module, encode_sections, EncodeError, Sections};
+#[allow(deprecated)]
+pub use enc::encode_module_sections;
 
 use safetsa_telemetry::Telemetry;
 
-/// [`encode_module`] with instrumentation: records the encode wall time
-/// (`codec.encode_ns`), the stream size (`codec.total_bytes`), and the
-/// per-section bit breakdown (`codec.sections.*_bits`) — where the
-/// paper's Figure 5 bytes actually go.
+/// The canonical instrumented entry point: [`encode_module`] recording
+/// the encode wall time (`codec.encode_ns`), the stream size
+/// (`codec.total_bytes`), and the per-section bit breakdown
+/// (`codec.sections.*_bits`) — where the paper's Figure 5 bytes
+/// actually go. A disabled registry records nothing.
 ///
 /// # Errors
 ///
 /// Returns [`EncodeError`] when the module is not in verified shape.
+pub fn encode(m: &safetsa_core::Module, tm: &Telemetry) -> Result<Vec<u8>, EncodeError> {
+    let (bytes, sec) = tm.time("codec.encode_ns", || encode_sections(m))?;
+    record_sections(&sec, tm);
+    Ok(bytes)
+}
+
+/// Deprecated alias for [`encode`].
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when the module is not in verified shape.
+#[deprecated(note = "use `safetsa::Pipeline` or `encode`")]
 pub fn encode_module_traced(
     m: &safetsa_core::Module,
     tm: &Telemetry,
 ) -> Result<Vec<u8>, EncodeError> {
-    let (bytes, sec) = tm.time("codec.encode_ns", || encode_module_sections(m))?;
-    record_sections(&sec, tm);
-    Ok(bytes)
+    encode(m, tm)
 }
 
 /// Records one [`Sections`] breakdown into the `codec.*` counter plane.

@@ -1,0 +1,347 @@
+//! Parallel batch compilation.
+//!
+//! SSA's referential transparency makes per-module compilation
+//! embarrassingly parallel: one source file's pipeline (frontend → SSA
+//! construction → producer optimization → encoding) reads nothing but
+//! its own input, so N files can run on N workers with no
+//! synchronization beyond handing out indices. [`run_batch`] is that
+//! driver: a `std::thread::scope` worker pool pulling task indices from
+//! an atomic counter, a fresh per-task [`Telemetry`] registry, and a
+//! deterministic merge — outputs are ordered by input index and the
+//! merged metrics are a commutative sum, so neither depends on how the
+//! scheduler interleaved the workers.
+//!
+//! In front of the pool sits the content-addressed [`Cache`]: a task
+//! whose (source, configuration, format version) key has a stored
+//! entry skips compilation entirely and replays the cached wire bytes
+//! and metrics.
+
+use crate::cache::Cache;
+use crate::Error;
+use safetsa_telemetry::Telemetry;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One unit of batch work: a named source text.
+#[derive(Debug, Clone)]
+pub struct BatchInput {
+    /// Display/report name (a file path or corpus entry name).
+    pub name: String,
+    /// The source text; also the content half of the cache key.
+    pub source: String,
+}
+
+/// Batch driver configuration.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker count; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Cache directory; `None` disables the cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Configuration half of the cache key: pass knobs plus any
+    /// driver-level salt (see [`crate::cache::passes_fingerprint`]).
+    /// Anything that changes what the work closure produces — bytes
+    /// *or* metrics — must be folded in.
+    pub fingerprint: String,
+    /// Whether per-task metrics are collected (and cached).
+    pub telemetry: bool,
+}
+
+impl BatchOptions {
+    /// Serial, uncached, uninstrumented defaults.
+    pub fn new(fingerprint: impl Into<String>) -> BatchOptions {
+        BatchOptions {
+            jobs: 1,
+            cache_dir: None,
+            fingerprint: fingerprint.into(),
+            telemetry: false,
+        }
+    }
+
+    /// Resolves `jobs == 0` to the machine's parallelism.
+    fn effective_jobs(&self, tasks: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, tasks.max(1))
+    }
+}
+
+/// One task's outcome, in input order.
+#[derive(Debug)]
+pub struct BatchItem {
+    /// The input's name.
+    pub name: String,
+    /// The produced artifact (encoded `.tsa` bytes).
+    pub bytes: Vec<u8>,
+    /// The task's own metrics registry (disabled when collection was
+    /// off). For a cache hit this is the registry *replayed* from the
+    /// entry — identical to what the original compilation recorded.
+    pub metrics: Telemetry,
+    /// Whether the artifact came from the cache.
+    pub cache_hit: bool,
+    /// Wall time this run actually spent on the task (hits are cheap).
+    pub task_wall_ns: u64,
+}
+
+/// The merged result of a batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-task outcomes, ordered by input index — independent of
+    /// scheduling.
+    pub items: Vec<BatchItem>,
+    /// All per-task registries merged (in input order, though the sum
+    /// is order-independent), plus the driver plane: `driver.jobs`,
+    /// `driver.tasks`, `driver.wall_ns`, `driver.tasks_wall_ns`,
+    /// `cache.hits`, `cache.misses`.
+    pub merged: Telemetry,
+    /// Worker count actually used.
+    pub jobs: usize,
+    /// Tasks served from the cache.
+    pub cache_hits: u64,
+    /// Tasks compiled (and, when caching, stored).
+    pub cache_misses: u64,
+    /// Wall time of the whole batch.
+    pub wall_ns: u64,
+    /// Sum of per-task wall times — the serial-equivalent cost, so
+    /// `tasks_wall_ns / wall_ns` is the measured speedup.
+    pub tasks_wall_ns: u64,
+}
+
+impl BatchReport {
+    /// Measured speedup over a serial run of the same tasks, in
+    /// permille (sum of task times vs batch wall time).
+    pub fn speedup_permille(&self) -> u64 {
+        self.tasks_wall_ns
+            .saturating_mul(1000)
+            .checked_div(self.wall_ns)
+            .unwrap_or(0)
+    }
+}
+
+struct TaskOut {
+    bytes: Vec<u8>,
+    metrics: Telemetry,
+    cache_hit: bool,
+    task_wall_ns: u64,
+}
+
+/// Runs `work` over every input on a scoped worker pool, with
+/// content-addressed caching in front.
+///
+/// `work(index, input)` compiles one input to its artifact bytes and
+/// returns them together with the metrics registry it recorded (a
+/// [`crate::Pipeline`] with its own telemetry, handed back via
+/// [`crate::Pipeline::into_metrics`], is the natural shape). The
+/// closure must be a pure function of the input and the options
+/// fingerprint — that purity is what makes the cache sound (see
+/// DESIGN.md) — and should enable its registry iff
+/// [`BatchOptions::telemetry`] is set, so cached and fresh tasks
+/// replay identically.
+///
+/// # Errors
+///
+/// Returns the failure of the lowest-indexed failing task (every task
+/// still runs; picking the lowest index keeps the reported error
+/// independent of scheduling), or the I/O error of a cache write.
+pub fn run_batch<F>(inputs: &[BatchInput], opts: &BatchOptions, work: F) -> Result<BatchReport, Error>
+where
+    F: Fn(usize, &BatchInput) -> Result<(Vec<u8>, Telemetry), Error> + Sync,
+{
+    let started = Instant::now();
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(Cache::open(dir)?),
+        None => None,
+    };
+    let jobs = opts.effective_jobs(inputs.len());
+    let next = AtomicUsize::new(0);
+    let work = &work;
+    let cache = &cache;
+
+    let run_task = |idx: usize, input: &BatchInput| -> Result<TaskOut, Error> {
+        let task_started = Instant::now();
+        let key = Cache::key(&opts.fingerprint, input.source.as_bytes());
+        if let Some(cache) = cache {
+            if let Some((bytes, flat)) = cache.load(key) {
+                // A corrupt metrics payload degrades to a miss below.
+                if let Ok(metrics) = Telemetry::import_flat(&flat) {
+                    return Ok(TaskOut {
+                        bytes,
+                        metrics: if opts.telemetry {
+                            metrics
+                        } else {
+                            Telemetry::disabled()
+                        },
+                        cache_hit: true,
+                        task_wall_ns: elapsed_ns(task_started),
+                    });
+                }
+            }
+        }
+        let (bytes, tm) = work(idx, input)?;
+        if let Some(cache) = cache {
+            cache.store(key, &bytes, &tm.export_flat())?;
+        }
+        Ok(TaskOut {
+            bytes,
+            metrics: tm,
+            cache_hit: false,
+            task_wall_ns: elapsed_ns(task_started),
+        })
+    };
+
+    // Each worker returns its (index, outcome) pairs; slots are then
+    // reassembled by index, so completion order never shows.
+    let mut slots: Vec<Option<Result<TaskOut, Error>>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done: Vec<(usize, Result<TaskOut, Error>)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(input) = inputs.get(idx) else { break };
+                        done.push((idx, run_task(idx, input)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, out) in h.join().expect("batch worker panicked") {
+                slots[idx] = Some(out);
+            }
+        }
+    });
+
+    let mut items = Vec::with_capacity(inputs.len());
+    let mut merged = if opts.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let (mut hits, mut misses, mut tasks_wall_ns) = (0u64, 0u64, 0u64);
+    for (input, slot) in inputs.iter().zip(slots) {
+        let out = slot.expect("every index was scheduled")?;
+        merged.merge(&out.metrics);
+        hits += u64::from(out.cache_hit);
+        misses += u64::from(!out.cache_hit);
+        tasks_wall_ns += out.task_wall_ns;
+        items.push(BatchItem {
+            name: input.name.clone(),
+            bytes: out.bytes,
+            metrics: out.metrics,
+            cache_hit: out.cache_hit,
+            task_wall_ns: out.task_wall_ns,
+        });
+    }
+    let wall_ns = elapsed_ns(started);
+    merged.set("driver.jobs", jobs as u64);
+    merged.set("driver.tasks", inputs.len() as u64);
+    merged.add_time_ns("driver.wall_ns", wall_ns);
+    merged.add_time_ns("driver.tasks_wall_ns", tasks_wall_ns);
+    merged.set("cache.hits", hits);
+    merged.set("cache.misses", misses);
+    Ok(BatchReport {
+        items,
+        merged,
+        jobs,
+        cache_hits: hits,
+        cache_misses: misses,
+        wall_ns,
+        tasks_wall_ns,
+    })
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: usize) -> Vec<BatchInput> {
+        (0..n)
+            .map(|i| BatchInput {
+                name: format!("task{i}"),
+                source: format!("source {i}"),
+            })
+            .collect()
+    }
+
+    /// The work closure: deterministic bytes per input, one counter.
+    fn work(_idx: usize, input: &BatchInput) -> Result<(Vec<u8>, Telemetry), Error> {
+        let tm = Telemetry::enabled();
+        tm.add("work.calls", 1);
+        tm.add("work.bytes", input.source.len() as u64);
+        Ok((
+            input.source.as_bytes().iter().rev().copied().collect(),
+            tm,
+        ))
+    }
+
+    #[test]
+    fn output_order_is_input_order_regardless_of_jobs() {
+        let ins = inputs(17);
+        let serial = run_batch(&ins, &BatchOptions::new("t"), work).unwrap();
+        let mut par_opts = BatchOptions::new("t");
+        par_opts.jobs = 8;
+        par_opts.telemetry = true;
+        let parallel = run_batch(&ins, &par_opts, work).unwrap();
+        assert_eq!(serial.items.len(), parallel.items.len());
+        for (a, b) in serial.items.iter().zip(parallel.items.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.bytes, b.bytes);
+        }
+        assert_eq!(parallel.merged.counter("work.calls"), Some(17));
+        assert_eq!(parallel.merged.counter("driver.tasks"), Some(17));
+        assert_eq!(parallel.merged.counter("cache.misses"), Some(17));
+        assert_eq!(parallel.jobs, 8);
+    }
+
+    #[test]
+    fn failure_reports_lowest_index_deterministically() {
+        let ins = inputs(9);
+        let mut opts = BatchOptions::new("t");
+        opts.jobs = 4;
+        let failing = |idx: usize, input: &BatchInput| {
+            if idx % 3 == 2 {
+                return Err(Error::Usage(format!("task {idx} failed")));
+            }
+            work(idx, input)
+        };
+        let err = run_batch(&ins, &opts, failing).unwrap_err();
+        assert_eq!(err.to_string(), "task 2 failed");
+    }
+
+    #[test]
+    fn cache_replays_bytes_and_metrics() {
+        let dir = std::env::temp_dir().join(format!("safetsa-batch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ins = inputs(6);
+        let mut opts = BatchOptions::new("t");
+        opts.jobs = 3;
+        opts.telemetry = true;
+        opts.cache_dir = Some(dir.clone());
+        let cold = run_batch(&ins, &opts, work).unwrap();
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 6));
+        let warm = run_batch(&ins, &opts, work).unwrap();
+        assert_eq!((warm.cache_hits, warm.cache_misses), (6, 0));
+        for (a, b) in cold.items.iter().zip(warm.items.iter()) {
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.metrics.export_flat(), b.metrics.export_flat());
+            assert!(b.cache_hit);
+        }
+        // A different fingerprint misses: the config is part of the key.
+        let mut other = opts.clone();
+        other.fingerprint = "t2".into();
+        let cross = run_batch(&ins, &other, work).unwrap();
+        assert_eq!(cross.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,205 @@
+//! Content-addressed module cache.
+//!
+//! SafeTSA compilation is a *pure function* of (source text, pass
+//! configuration, wire-format version): the front end, the SSA
+//! construction, and every producer pass are deterministic, consult no
+//! ambient state, and the encoder's output is a function of the module
+//! alone. That makes the encoded `.tsa` bytes (plus the metrics the
+//! compilation recorded) safely reusable whenever all three inputs are
+//! unchanged — so the cache key is an FNV-1a hash over exactly those
+//! three, and a hit is sound by construction. See DESIGN.md ("Batch
+//! driver & cache") for the full argument.
+//!
+//! Entries are single files under the cache directory, named by the
+//! 64-bit key in hex, holding a version-stamped header, the wire bytes,
+//! and the flat-serialized telemetry registry. Any corruption — a
+//! truncated write, a foreign file, a stale entry version — reads as a
+//! *miss*, never an error: the cache is an accelerator, not a source of
+//! truth.
+
+use safetsa_opt::{MemModel, Passes};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Entry-format version stamped into every cache file; bump on any
+/// layout change so stale entries read as misses.
+const ENTRY_MAGIC: &str = "safetsa-cache/1";
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, continuing from `state`. Start from
+/// [`FNV_OFFSET`] via [`fnv1a`].
+fn fnv1a_continue(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// Renders a [`Passes`] configuration as a stable fingerprint string.
+/// Every knob that changes the produced module must appear here — a
+/// missed knob would alias two distinct compilations onto one key.
+pub fn passes_fingerprint(passes: &Passes) -> String {
+    format!(
+        "cp{}-cse{}-ce{}-dce{}-mem{}",
+        u8::from(passes.constprop),
+        u8::from(passes.cse),
+        u8::from(passes.checkelim),
+        u8::from(passes.dce),
+        match passes.mem {
+            MemModel::Monolithic => "mono",
+            MemModel::FieldPartitioned => "field",
+        },
+    )
+}
+
+/// A content-addressed cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `create_dir_all` failure.
+    pub fn open(dir: &Path) -> std::io::Result<Cache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Cache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Computes the content-addressed key: FNV-1a over the entry-format
+    /// magic, the wire-format version, the caller's configuration
+    /// fingerprint (pass knobs plus any driver-level salt), and the
+    /// source bytes, with NUL separators so field boundaries cannot
+    /// alias.
+    pub fn key(fingerprint: &str, source: &[u8]) -> u64 {
+        let mut state = fnv1a(ENTRY_MAGIC.as_bytes());
+        state = fnv1a_continue(state, &[safetsa_codec::layout::VERSION, 0]);
+        state = fnv1a_continue(state, fingerprint.as_bytes());
+        state = fnv1a_continue(state, &[0]);
+        fnv1a_continue(state, source)
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.tsac"))
+    }
+
+    /// Looks up a key, returning the cached wire bytes and the
+    /// flat-serialized metrics text. Any read failure or corruption is
+    /// a miss (`None`).
+    pub fn load(&self, key: u64) -> Option<(Vec<u8>, String)> {
+        let data = std::fs::read(self.entry_path(key)).ok()?;
+        // Header: "safetsa-cache/1\nkey <hex>\nbytes <len>\n".
+        let mut rest = data.as_slice();
+        let line = |rest: &mut &[u8]| -> Option<String> {
+            let nl = rest.iter().position(|&b| b == b'\n')?;
+            let text = std::str::from_utf8(&rest[..nl]).ok()?.to_string();
+            *rest = &rest[nl + 1..];
+            Some(text)
+        };
+        if line(&mut rest)? != ENTRY_MAGIC {
+            return None;
+        }
+        let key_line = line(&mut rest)?;
+        if key_line.strip_prefix("key ")? != format!("{key:016x}") {
+            return None;
+        }
+        let nbytes: usize = line(&mut rest)?.strip_prefix("bytes ")?.parse().ok()?;
+        if rest.len() < nbytes {
+            return None;
+        }
+        let bytes = rest[..nbytes].to_vec();
+        rest = &rest[nbytes..];
+        let nmetrics: usize = line(&mut rest)?.strip_prefix("metrics ")?.parse().ok()?;
+        if rest.len() != nmetrics {
+            return None;
+        }
+        let metrics = std::str::from_utf8(rest).ok()?.to_string();
+        Some((bytes, metrics))
+    }
+
+    /// Stores an entry. The write goes to a temporary sibling first and
+    /// is renamed into place, so a concurrent worker (or a crash) never
+    /// observes a torn entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O failure.
+    pub fn store(&self, key: u64, bytes: &[u8], metrics: &str) -> std::io::Result<()> {
+        let path = self.entry_path(key);
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "{ENTRY_MAGIC}")?;
+            writeln!(f, "key {key:016x}")?;
+            writeln!(f, "bytes {}", bytes.len())?;
+            f.write_all(bytes)?;
+            writeln!(f, "metrics {}", metrics.len())?;
+            f.write_all(metrics.as_bytes())?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_depends_on_all_three_inputs() {
+        let base = Cache::key("cfg", b"class A {}");
+        assert_ne!(base, Cache::key("cfg2", b"class A {}"));
+        assert_ne!(base, Cache::key("cfg", b"class B {}"));
+        // Field boundaries cannot alias: moving a byte across the
+        // separator changes the key.
+        assert_ne!(Cache::key("ab", b"c"), Cache::key("a", b"bc"));
+    }
+
+    #[test]
+    fn round_trip_store_load_and_corruption_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("safetsa-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::open(&dir).unwrap();
+        let key = Cache::key("cfg", b"src");
+        assert!(cache.load(key).is_none());
+        cache.store(key, &[1, 2, 3], "c a.b 4\n").unwrap();
+        assert_eq!(cache.load(key), Some((vec![1, 2, 3], "c a.b 4\n".into())));
+        // Truncate the entry: reads as a miss, not an error.
+        let path = dir.join(format!("{key:016x}.tsac"));
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 2]).unwrap();
+        assert!(cache.load(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_pass_configs() {
+        let all = passes_fingerprint(&Passes::ALL);
+        let none = passes_fingerprint(&Passes::NONE);
+        let field = passes_fingerprint(&Passes::ALL_FIELD_MEM);
+        assert_ne!(all, none);
+        assert_ne!(all, field);
+    }
+}

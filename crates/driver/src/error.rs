@@ -1,0 +1,143 @@
+//! The unified error type for the whole pipeline.
+//!
+//! Every stage keeps its own precise error enum (a decode failure and a
+//! VM trap are different beasts), but a *driver* — the CLI, the batch
+//! compiler, a test harness — wants to propagate "some stage failed"
+//! through one type instead of five ad-hoc conversions. [`Error`] wraps
+//! each stage error losslessly: `Display` prefixes the stage,
+//! [`std::error::Error::source`] exposes the wrapped error for callers
+//! that want to downcast.
+
+use safetsa_codec::{DecodeError, EncodeError};
+use safetsa_core::verify::VerifyError;
+use safetsa_frontend::span::CompileError;
+use safetsa_ssa::LowerError;
+use safetsa_vm::VmError;
+use std::fmt;
+
+/// Any failure the SafeTSA pipeline can produce, from source text to
+/// executed result, plus the I/O and usage failures a driver adds on
+/// top.
+#[derive(Debug)]
+pub enum Error {
+    /// The front end rejected the source (lexer/parser/sema).
+    Compile(CompileError),
+    /// SSA construction hit a broken HIR invariant.
+    Lower(LowerError),
+    /// The module failed verification.
+    Verify(VerifyError),
+    /// The encoder refused an unverified-shape module.
+    Encode(EncodeError),
+    /// The decoder rejected the wire stream.
+    Decode(DecodeError),
+    /// Loading or executing the module failed.
+    Vm(VmError),
+    /// Reading sources or writing artifacts failed.
+    Io(std::io::Error),
+    /// The driver was invoked incorrectly (bad flags, missing inputs).
+    Usage(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            // LowerError's own Display already carries its stage prefix.
+            Error::Lower(e) => write!(f, "{e}"),
+            Error::Verify(e) => write!(f, "verify error: {e}"),
+            Error::Encode(e) => write!(f, "encode error: {e}"),
+            Error::Decode(e) => write!(f, "decode error: {e}"),
+            Error::Vm(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "{e}"),
+            Error::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Lower(e) => Some(e),
+            Error::Verify(e) => Some(e),
+            Error::Encode(e) => Some(e),
+            Error::Decode(e) => Some(e),
+            Error::Vm(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Usage(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<LowerError> for Error {
+    fn from(e: LowerError) -> Self {
+        Error::Lower(e)
+    }
+}
+
+impl From<VerifyError> for Error {
+    fn from(e: VerifyError) -> Self {
+        Error::Verify(e)
+    }
+}
+
+impl From<EncodeError> for Error {
+    fn from(e: EncodeError) -> Self {
+        Error::Encode(e)
+    }
+}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Self {
+        Error::Decode(e)
+    }
+}
+
+impl From<VmError> for Error {
+    fn from(e: VmError) -> Self {
+        Error::Vm(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Usage(msg)
+    }
+}
+
+impl From<&str> for Error {
+    fn from(msg: &str) -> Self {
+        Error::Usage(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_prefixes_stage_and_source_exposes_inner() {
+        let e: Error = LowerError("boom".into()).into();
+        assert_eq!(e.to_string(), "ssa lowering: boom");
+        assert_eq!(e.source().unwrap().to_string(), "ssa lowering: boom");
+        let e: Error = DecodeError::UnexpectedEof.into();
+        assert!(e.to_string().contains("unexpected end of stream"));
+        assert!(e.source().is_some());
+        let e: Error = "no input files".into();
+        assert_eq!(e.to_string(), "no input files");
+        assert!(e.source().is_none());
+    }
+}

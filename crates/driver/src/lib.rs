@@ -1,0 +1,32 @@
+//! # safetsa-driver
+//!
+//! The driver layer of the SafeTSA reproduction: everything a program
+//! that *uses* the pipeline needs, under one roof.
+//!
+//! * [`Pipeline`] — the unified facade over frontend → SSA → opt →
+//!   codec → VM, configured once (passes, telemetry, resource limits)
+//!   and reused; replaces the old per-stage `_with`/`_traced` function
+//!   zoo.
+//! * [`Error`] — one error enum wrapping every stage's failure type,
+//!   with `Display` and `source()`.
+//! * [`batch`] — the parallel batch-compilation driver: a
+//!   `std::thread::scope` worker pool with per-worker telemetry,
+//!   deterministic merging, and a content-addressed module [`cache`]
+//!   keyed on (source bytes, pass configuration, wire-format version).
+//!
+//! SSA's referential transparency is what makes the batch driver
+//! trivially correct: each module's compilation is a pure function of
+//! its own source, so modules parallelize without synchronization and
+//! cache without invalidation logic.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+mod error;
+mod pipeline;
+
+pub use batch::{run_batch, BatchInput, BatchItem, BatchOptions, BatchReport};
+pub use cache::{passes_fingerprint, Cache};
+pub use error::Error;
+pub use pipeline::{Pipeline, RunOutcome};

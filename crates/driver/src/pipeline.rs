@@ -1,0 +1,286 @@
+//! The unified pipeline facade.
+//!
+//! Historically every stage grew `_with`/`_traced` variants and each
+//! driver wired them together by hand. [`Pipeline`] is the one front
+//! door: configure it once (passes, telemetry, resource limits), then
+//! call [`Pipeline::compile_source`], [`Pipeline::encode`],
+//! [`Pipeline::decode`], [`Pipeline::run`]. Every method records into
+//! the pipeline's [`Telemetry`] registry (free when disabled) and
+//! reports failures through the unified [`Error`].
+
+use crate::Error;
+use safetsa_codec::HostEnv;
+use safetsa_core::verify::{verify_module, VerifyStats};
+use safetsa_core::Module;
+use safetsa_frontend::hir::Program;
+use safetsa_opt::{OptStats, Passes};
+use safetsa_rt::Value;
+use safetsa_ssa::Lowered;
+use safetsa_telemetry::Telemetry;
+use safetsa_vm::{ResourceLimits, Vm, VmError};
+
+/// A configured SafeTSA pipeline: one object that can take source text
+/// all the way to wire bytes and back to an executed result.
+///
+/// # Examples
+///
+/// ```
+/// use safetsa_driver::Pipeline;
+///
+/// let pipeline = Pipeline::new();
+/// let module = pipeline.compile_source(
+///     "class M { static int main() { return 6 * 7; } }",
+/// )?;
+/// let bytes = pipeline.encode(&module)?;
+/// let decoded = pipeline.decode(&bytes)?;
+/// let outcome = pipeline.run(&decoded, "M.main")?;
+/// assert_eq!(outcome.result?, Some(safetsa_rt::Value::I(42)));
+/// # Ok::<(), safetsa_driver::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    passes: PassConfig,
+    tm: Telemetry,
+    limits: ResourceLimits,
+}
+
+/// Producer-side optimization setting.
+#[derive(Debug, Clone, Copy)]
+enum PassConfig {
+    /// Run the optimizer with these passes.
+    Optimize(Passes),
+    /// Skip the optimizer stage entirely (no `opt.*` metrics recorded).
+    Skip,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        PassConfig::Optimize(Passes::ALL)
+    }
+}
+
+/// What [`Pipeline::run`] produced: the program's printed output plus
+/// either its result value or the execution failure. Output and the
+/// recorded `vm.*` metrics are available even when execution trapped,
+/// so drivers can still print what the program managed to say.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The entry point's return value, or the trap/exhaustion error.
+    pub result: Result<Option<Value>, Error>,
+    /// Everything the program printed.
+    pub output: String,
+}
+
+impl Pipeline {
+    /// A pipeline with the paper's defaults: all optimization passes,
+    /// disabled telemetry, unlimited resource budgets.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Selects the producer-side optimization passes.
+    pub fn passes(mut self, passes: Passes) -> Pipeline {
+        self.passes = PassConfig::Optimize(passes);
+        self
+    }
+
+    /// Disables the optimizer stage entirely: [`Pipeline::compile_source`]
+    /// returns the freshly constructed SSA and records no `opt.*`
+    /// metrics (what the CLI's `--no-opt` and `dump`/`analyze` want).
+    pub fn no_optimize(mut self) -> Pipeline {
+        self.passes = PassConfig::Skip;
+        self
+    }
+
+    /// Installs a telemetry registry; pass [`Telemetry::enabled`] to
+    /// collect per-stage metrics, which [`Pipeline::metrics`] exposes.
+    pub fn telemetry(mut self, tm: Telemetry) -> Pipeline {
+        self.tm = tm;
+        self
+    }
+
+    /// Sets the consumer-side resource budgets applied by
+    /// [`Pipeline::run`].
+    pub fn limits(mut self, limits: ResourceLimits) -> Pipeline {
+        self.limits = limits;
+        self
+    }
+
+    /// The registry every stage records into.
+    pub fn metrics(&self) -> &Telemetry {
+        &self.tm
+    }
+
+    /// Consumes the pipeline, handing back its registry — the shape
+    /// [`crate::batch::run_batch`] work closures return per task.
+    pub fn into_metrics(self) -> Telemetry {
+        self.tm
+    }
+
+    /// Front end only: source files to one resolved program (shared
+    /// class space).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Compile`].
+    pub fn frontend(&self, srcs: &[&str]) -> Result<Program, Error> {
+        Ok(safetsa_frontend::compile_sources(srcs, &self.tm)?)
+    }
+
+    /// SSA construction only (no optimization, no verification).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Lower`].
+    pub fn lower(&self, prog: &Program) -> Result<Lowered, Error> {
+        Ok(safetsa_ssa::construct(prog, &self.tm)?)
+    }
+
+    /// Compiles one source file to a verified (and, per the pipeline's
+    /// configuration, optimized) SafeTSA module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage failure.
+    pub fn compile_source(&self, src: &str) -> Result<Module, Error> {
+        self.compile_sources(&[src])
+    }
+
+    /// Compiles several source files as one program: front end → SSA
+    /// construction → producer optimization → verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage failure.
+    pub fn compile_sources(&self, srcs: &[&str]) -> Result<Module, Error> {
+        let prog = self.frontend(srcs)?;
+        let mut module = self.lower(&prog)?.module;
+        self.optimize(&mut module);
+        self.verify(&module)?;
+        Ok(module)
+    }
+
+    /// Runs the configured optimization passes in place (a no-op under
+    /// [`Pipeline::no_optimize`]).
+    pub fn optimize(&self, m: &mut Module) -> OptStats {
+        match self.passes {
+            PassConfig::Optimize(passes) => safetsa_opt::optimize(m, passes, &self.tm),
+            PassConfig::Skip => OptStats::default(),
+        }
+    }
+
+    /// Verifies a module, timing the pass under `verify.module_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`].
+    pub fn verify(&self, m: &Module) -> Result<VerifyStats, Error> {
+        Ok(self.tm.time("verify.module_ns", || verify_module(m))?)
+    }
+
+    /// Encodes a module to its wire form, recording the codec plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Encode`].
+    pub fn encode(&self, m: &Module) -> Result<Vec<u8>, Error> {
+        Ok(safetsa_codec::encode(m, &self.tm)?)
+    }
+
+    /// Decodes and verifies wire bytes against the standard host
+    /// environment, timing the pass under `codec.decode_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Decode`].
+    pub fn decode(&self, bytes: &[u8]) -> Result<Module, Error> {
+        self.tm.set("codec.total_bytes", bytes.len() as u64);
+        let host = HostEnv::standard();
+        Ok(self
+            .tm
+            .time("codec.decode_ns", || {
+                safetsa_codec::decode_and_verify(bytes, &host)
+            })?)
+    }
+
+    /// Executes `entry` (`"Class.method"`) under the configured
+    /// resource limits. Dynamic statistics collection is enabled iff
+    /// the pipeline's telemetry is, and the VM plane (`vm.*`) is
+    /// exported into the registry whether or not execution succeeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Vm`] when the module cannot be *loaded*;
+    /// execution failures land in [`RunOutcome::result`] so the
+    /// program's output survives them.
+    pub fn run(&self, m: &Module, entry: &str) -> Result<RunOutcome, Error> {
+        let mut vm = Vm::load(m).map_err(Error::Vm)?;
+        if self.tm.is_enabled() {
+            vm.enable_stats();
+        }
+        vm.set_limits(self.limits);
+        let result: Result<Option<Value>, VmError> = vm.run_entry(entry);
+        vm.export_metrics(&self.tm);
+        Ok(RunOutcome {
+            result: result.map_err(Error::Vm),
+            output: vm.output.text().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "class A {
+        static int main() {
+            int[] v = new int[4];
+            for (int i = 0; i < 4; i++) v[i] = i * i;
+            return v[3];
+        }
+    }";
+
+    #[test]
+    fn facade_round_trips_source_to_result() {
+        let p = Pipeline::new().telemetry(Telemetry::enabled());
+        let module = p.compile_source(SRC).unwrap();
+        let bytes = p.encode(&module).unwrap();
+        let decoded = p.decode(&bytes).unwrap();
+        let outcome = p.run(&decoded, "A.main").unwrap();
+        assert_eq!(outcome.result.unwrap(), Some(Value::I(9)));
+        // Every stage recorded into the one registry.
+        for key in [
+            "frontend.tokens",
+            "ssa.instrs",
+            "opt.instrs.after",
+            "verify.module_ns",
+            "codec.total_bytes",
+            "vm.steps",
+        ] {
+            assert!(p.metrics().counter(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn no_optimize_skips_the_opt_plane() {
+        let p = Pipeline::new().no_optimize().telemetry(Telemetry::enabled());
+        p.compile_source(SRC).unwrap();
+        assert_eq!(p.metrics().counter("opt.instrs.after"), None);
+        assert!(p.metrics().counter("ssa.instrs").is_some());
+    }
+
+    #[test]
+    fn run_reports_limits_through_outcome_not_load() {
+        let p = Pipeline::new().limits(ResourceLimits {
+            fuel: Some(3),
+            max_heap_bytes: None,
+            max_call_depth: None,
+        });
+        let module = p.compile_source(SRC).unwrap();
+        let outcome = p.run(&module, "A.main").unwrap();
+        assert!(matches!(
+            outcome.result,
+            Err(Error::Vm(VmError::FuelExhausted))
+        ));
+    }
+}

@@ -38,19 +38,7 @@ use span::CompileError;
 ///
 /// Returns the first lexical, syntactic, or semantic error.
 pub fn compile(src: &str) -> Result<hir::Program, CompileError> {
-    compile_with(src, &Telemetry::disabled())
-}
-
-/// [`compile`] with instrumentation: records per-phase wall time
-/// (`frontend.lex_ns` / `frontend.parse_ns` / `frontend.sema_ns`) and
-/// size counters (`frontend.source_bytes`, `frontend.tokens`,
-/// `frontend.ast_nodes`, `frontend.classes`, `frontend.methods`).
-///
-/// # Errors
-///
-/// Returns the first lexical, syntactic, or semantic error.
-pub fn compile_with(src: &str, tm: &Telemetry) -> Result<hir::Program, CompileError> {
-    compile_many_with(&[src], tm)
+    compile_sources(&[src], &Telemetry::disabled())
 }
 
 /// Compiles several source files as one program (shared class space).
@@ -59,16 +47,41 @@ pub fn compile_with(src: &str, tm: &Telemetry) -> Result<hir::Program, CompileEr
 ///
 /// Returns the first error, without attributing the file.
 pub fn compile_many(srcs: &[&str]) -> Result<hir::Program, CompileError> {
-    compile_many_with(srcs, &Telemetry::disabled())
+    compile_sources(srcs, &Telemetry::disabled())
 }
 
-/// [`compile_many`] with instrumentation (see [`compile_with`] for the
-/// recorded metrics; counters accumulate across the input files).
+/// Deprecated alias for [`compile_sources`] on a single source.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error.
+#[deprecated(note = "use `safetsa::Pipeline` or `compile_sources`")]
+pub fn compile_with(src: &str, tm: &Telemetry) -> Result<hir::Program, CompileError> {
+    compile_sources(&[src], tm)
+}
+
+/// Deprecated alias for [`compile_sources`].
 ///
 /// # Errors
 ///
 /// Returns the first error, without attributing the file.
+#[deprecated(note = "use `safetsa::Pipeline` or `compile_sources`")]
 pub fn compile_many_with(srcs: &[&str], tm: &Telemetry) -> Result<hir::Program, CompileError> {
+    compile_sources(srcs, tm)
+}
+
+/// The canonical instrumented entry point: compiles several source
+/// files as one program (shared class space), recording per-phase wall
+/// time (`frontend.lex_ns` / `frontend.parse_ns` / `frontend.sema_ns`)
+/// and size counters (`frontend.source_bytes`, `frontend.tokens`,
+/// `frontend.ast_nodes`, `frontend.classes`, `frontend.methods`;
+/// counters accumulate across the input files). [`compile`] and
+/// [`compile_many`] delegate here with a disabled registry.
+///
+/// # Errors
+///
+/// Returns the first error, without attributing the file.
+pub fn compile_sources(srcs: &[&str], tm: &Telemetry) -> Result<hir::Program, CompileError> {
     let mut classes = Vec::new();
     for src in srcs {
         tm.add("frontend.source_bytes", src.len() as u64);

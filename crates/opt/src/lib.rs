@@ -222,41 +222,50 @@ pub fn optimize_function(types: &TypeTable, f: &Function, passes: Passes) -> (Fu
 
 /// Optimizes every function of a module in place with all passes.
 pub fn optimize_module(m: &mut Module) -> OptStats {
-    optimize_module_with(m, Passes::ALL)
+    optimize(m, Passes::ALL, &Telemetry::disabled())
 }
 
-/// Optimizes every function of a module in place with selected passes.
+/// Deprecated alias for [`optimize`] with a disabled registry.
+#[deprecated(note = "use `safetsa::Pipeline` or `optimize`")]
+pub fn optimize_module_with(m: &mut Module, passes: Passes) -> OptStats {
+    optimize(m, passes, &Telemetry::disabled())
+}
+
+/// Deprecated alias for [`optimize`].
+#[deprecated(note = "use `safetsa::Pipeline` or `optimize`")]
+pub fn optimize_module_traced(m: &mut Module, passes: Passes, tm: &Telemetry) -> OptStats {
+    optimize(m, passes, tm)
+}
+
+/// The canonical entry point: optimizes every function of a module in
+/// place with the selected passes, and — when the registry is enabled —
+/// records the optimization wall time (`opt.optimize_ns`) and the exact
+/// quantities behind the paper's Tables 1–3: instruction/phi counts
+/// before and after, per-pass removal counters (`opt.constprop.removed`
+/// / `opt.cse.removed` / `opt.dce.removed`), and the check-elimination
+/// plane (`opt.null_checks.{before,after,eliminated}`, likewise
+/// `opt.index_checks`). A disabled registry costs nothing beyond the
+/// [`OptStats`] bookkeeping the passes already do.
 ///
 /// In debug/test builds the optimized module is re-validated with
 /// [`safetsa_core::verify::verify_module`]: every pass must preserve
 /// the type-separation and safety invariants the format enforces on
 /// the wire.
-pub fn optimize_module_with(m: &mut Module, passes: Passes) -> OptStats {
-    let mut total = OptStats::default();
-    let functions = std::mem::take(&mut m.functions);
-    for f in functions {
-        let (g, stats) = optimize_function(&m.types, &f, passes);
-        total.add(&stats);
-        m.functions.push(g);
-    }
-    #[cfg(debug_assertions)]
-    if let Err(e) = safetsa_core::verify::verify_module(m) {
-        panic!("optimizer produced an unverifiable module: {e}");
-    }
-    total
-}
-
-/// [`optimize_module_with`] plus instrumentation: the optimization wall
-/// time (`opt.optimize_ns`) and the exact quantities behind the paper's
-/// Tables 1–3 — instruction/phi counts before and after, per-pass
-/// removal counters (`opt.constprop.removed` / `opt.cse.removed` /
-/// `opt.dce.removed`), and the check-elimination plane
-/// (`opt.null_checks.{before,after,eliminated}`, likewise
-/// `opt.index_checks`). The counters are recorded unconditionally from
-/// the returned [`OptStats`], so a disabled registry costs nothing
-/// beyond the `OptStats` bookkeeping the passes already do.
-pub fn optimize_module_traced(m: &mut Module, passes: Passes, tm: &Telemetry) -> OptStats {
-    let stats = tm.time("opt.optimize_ns", || optimize_module_with(m, passes));
+pub fn optimize(m: &mut Module, passes: Passes, tm: &Telemetry) -> OptStats {
+    let stats = tm.time("opt.optimize_ns", || {
+        let mut total = OptStats::default();
+        let functions = std::mem::take(&mut m.functions);
+        for f in functions {
+            let (g, stats) = optimize_function(&m.types, &f, passes);
+            total.add(&stats);
+            m.functions.push(g);
+        }
+        #[cfg(debug_assertions)]
+        if let Err(e) = safetsa_core::verify::verify_module(m) {
+            panic!("optimizer produced an unverifiable module: {e}");
+        }
+        total
+    });
     record_stats(&stats, tm);
     stats
 }

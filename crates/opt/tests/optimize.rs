@@ -3,7 +3,8 @@
 
 use safetsa_core::verify::verify_module;
 use safetsa_frontend::compile;
-use safetsa_opt::{optimize_module, optimize_module_with, OptStats, Passes};
+use safetsa_opt::{optimize_module, OptStats, Passes};
+use safetsa_telemetry::Telemetry;
 use safetsa_rt::Value;
 use safetsa_ssa::lower_program;
 use safetsa_vm::Vm;
@@ -200,11 +201,11 @@ fn pass_selection_ablation() {
     let base = lower_program(&prog).unwrap();
     // No passes: nothing changes.
     let mut m0 = base.module.clone();
-    let s0 = optimize_module_with(&mut m0, Passes::NONE);
+    let s0 = safetsa_opt::optimize(&mut m0, Passes::NONE, &Telemetry::disabled());
     assert_eq!(s0.instrs_before, s0.instrs_after);
     // CSE only.
     let mut m1 = base.module.clone();
-    let s1 = optimize_module_with(
+    let s1 = safetsa_opt::optimize(
         &mut m1,
         Passes {
             constprop: false,
@@ -213,13 +214,14 @@ fn pass_selection_ablation() {
             dce: false,
             mem: safetsa_opt::MemModel::Monolithic,
         },
+        &Telemetry::disabled(),
     );
     assert!(s1.removed_by_cse >= 1);
     assert_eq!(s1.removed_by_constprop, 0);
     verify_module(&m1).unwrap();
     // All passes shrink at least as much as CSE alone.
     let mut m2 = base.module.clone();
-    let s2 = optimize_module_with(&mut m2, Passes::ALL);
+    let s2 = safetsa_opt::optimize(&mut m2, Passes::ALL, &Telemetry::disabled());
     assert!(s2.instrs_after <= s1.instrs_after);
     verify_module(&m2).unwrap();
 }
@@ -247,9 +249,9 @@ fn field_partitioned_mem_keeps_unrelated_loads_available() {
             .sum::<usize>()
     };
     let mut mono = base.module.clone();
-    optimize_module_with(&mut mono, Passes::ALL);
+    safetsa_opt::optimize(&mut mono, Passes::ALL, &Telemetry::disabled());
     let mut field = base.module.clone();
-    optimize_module_with(&mut field, Passes::ALL_FIELD_MEM);
+    safetsa_opt::optimize(&mut field, Passes::ALL_FIELD_MEM, &Telemetry::disabled());
     verify_module(&field).unwrap();
     assert!(
         loads(&field) < loads(&mono),
@@ -280,7 +282,7 @@ fn field_partitioned_mem_respects_same_field_stores() {
     let prog = compile(src).unwrap();
     let base = lower_program(&prog).unwrap();
     let mut m = base.module.clone();
-    optimize_module_with(&mut m, Passes::ALL_FIELD_MEM);
+    safetsa_opt::optimize(&mut m, Passes::ALL_FIELD_MEM, &Telemetry::disabled());
     verify_module(&m).unwrap();
     assert_eq!(run_module(&m, "P.main").0, Some(Value::I(12)));
 }

@@ -65,21 +65,33 @@ impl Lowered {
 /// Returns a [`LowerError`] if the HIR violates an invariant the
 /// lowering relies on (indicative of a front-end bug).
 pub fn lower_program(prog: &Program) -> Result<Lowered, LowerError> {
-    lower_program_with(prog, &Telemetry::disabled())
+    construct(prog, &Telemetry::disabled())
 }
 
-/// [`lower_program`] with instrumentation: records the construction
-/// wall time (`ssa.lower_ns`), the §7 construction counters
-/// (`ssa.phis_candidate` / `ssa.phis_inserted` / `ssa.phis_avoided`,
-/// `ssa.null_checks_inserted` / `ssa.index_checks_inserted`), totals
-/// (`ssa.functions`, `ssa.instrs`, `ssa.phis`), and a per-function
-/// instruction-count histogram (`ssa.fn_instrs`).
+/// Deprecated alias for [`construct`].
 ///
 /// # Errors
 ///
 /// Returns a [`LowerError`] if the HIR violates an invariant the
 /// lowering relies on (indicative of a front-end bug).
+#[deprecated(note = "use `safetsa::Pipeline` or `construct`")]
 pub fn lower_program_with(prog: &Program, tm: &Telemetry) -> Result<Lowered, LowerError> {
+    construct(prog, tm)
+}
+
+/// The canonical instrumented entry point: [`lower_program`] recording
+/// the construction wall time (`ssa.lower_ns`), the §7 construction
+/// counters (`ssa.phis_candidate` / `ssa.phis_inserted` /
+/// `ssa.phis_avoided`, `ssa.null_checks_inserted` /
+/// `ssa.index_checks_inserted`), totals (`ssa.functions`, `ssa.instrs`,
+/// `ssa.phis`), and a per-function instruction-count histogram
+/// (`ssa.fn_instrs`).
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] if the HIR violates an invariant the
+/// lowering relies on (indicative of a front-end bug).
+pub fn construct(prog: &Program, tm: &Telemetry) -> Result<Lowered, LowerError> {
     let lowered = tm.time("ssa.lower_ns", || lower_program_inner(prog))?;
     if tm.is_enabled() {
         let totals = lowered.totals();

@@ -48,6 +48,7 @@ pub use json::Json;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema identifier stamped into every metrics document. Bump the
@@ -98,6 +99,25 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Merges another histogram into this one: counts, sums and buckets
+    /// add; min/max widen. Merging is commutative and associative, so a
+    /// fold over any partition of the observations equals observing
+    /// them all into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, v: u64) {
         if self.count == 0 || v < self.min {
@@ -250,6 +270,122 @@ impl Telemetry {
         }
     }
 
+    /// Merges another registry into this one: counters and timers add,
+    /// histograms merge bucket-wise. Summing is commutative and
+    /// associative, so merging per-worker registries produces the same
+    /// registry regardless of how tasks were scheduled across workers —
+    /// and equals what a single registry would have recorded, provided
+    /// the recording used the accumulating calls (`add` / `time` /
+    /// `add_time_ns` / `observe`; a `set` is last-write-wins within one
+    /// registry but sums across a merge, so absolute gauges should be
+    /// recorded at most once per merged registry).
+    ///
+    /// Merging into a disabled registry is a no-op, as is merging a
+    /// disabled registry in. On a kind mismatch (a counter merged onto
+    /// a histogram) the existing metric is kept and the merge of that
+    /// key is dropped, mirroring the recording methods' behavior.
+    pub fn merge(&mut self, other: &Telemetry) {
+        let (Some(inner), Some(oinner)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        let mut reg = inner.borrow_mut();
+        for (name, metric) in &oinner.borrow().metrics {
+            match reg.metrics.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(metric.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), metric) {
+                        (Metric::Counter(a), Metric::Counter(b)) => *a = a.saturating_add(*b),
+                        (Metric::TimeNs(a), Metric::TimeNs(b)) => *a = a.saturating_add(*b),
+                        (Metric::Hist(a), Metric::Hist(b)) => a.merge(b),
+                        _ => debug_assert!(false, "metric {name} merged with a different kind"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes the registry as line-oriented plain text, one metric
+    /// per line (`c name value`, `t name ns`, `h name count sum min max
+    /// b0..b32`), in sorted key order. Unlike [`Telemetry::to_json`]
+    /// this is lossless (histogram buckets included), so a registry can
+    /// be persisted — the batch driver's module cache stores each
+    /// program's metrics this way — and later [`Telemetry::import_flat`]ed
+    /// and [`Telemetry::merge`]d as if the work had re-run.
+    pub fn export_flat(&self) -> String {
+        let mut out = String::new();
+        let Some(inner) = &self.inner else { return out };
+        for (name, metric) in &inner.borrow().metrics {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "c {name} {c}");
+                }
+                Metric::TimeNs(t) => {
+                    let _ = writeln!(out, "t {name} {t}");
+                }
+                Metric::Hist(h) => {
+                    let _ = write!(out, "h {name} {} {} {} {}", h.count, h.sum, h.min, h.max);
+                    for b in h.buckets {
+                        let _ = write!(out, " {b}");
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a document produced by [`Telemetry::export_flat`] into a
+    /// fresh (enabled) registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn import_flat(text: &str) -> Result<Telemetry, String> {
+        let tm = Telemetry::enabled();
+        {
+            let inner = tm.inner.as_ref().expect("enabled");
+            let mut reg = inner.borrow_mut();
+            for (lineno, line) in text.lines().enumerate() {
+                let bad = || format!("line {}: malformed metric `{line}`", lineno + 1);
+                let mut parts = line.split(' ');
+                let (Some(kind), Some(name)) = (parts.next(), parts.next()) else {
+                    return Err(bad());
+                };
+                let num = |parts: &mut std::str::Split<'_, char>| -> Result<u64, String> {
+                    parts
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(bad)
+                };
+                let metric = match kind {
+                    "c" => Metric::Counter(num(&mut parts)?),
+                    "t" => Metric::TimeNs(num(&mut parts)?),
+                    "h" => {
+                        let mut h = Histogram {
+                            count: num(&mut parts)?,
+                            sum: num(&mut parts)?,
+                            min: num(&mut parts)?,
+                            max: num(&mut parts)?,
+                            buckets: [0; 33],
+                        };
+                        for b in h.buckets.iter_mut() {
+                            *b = num(&mut parts)?;
+                        }
+                        Metric::Hist(Box::new(h))
+                    }
+                    _ => return Err(bad()),
+                };
+                if parts.next().is_some() {
+                    return Err(bad());
+                }
+                reg.metrics.insert(name.to_string(), metric);
+            }
+        }
+        Ok(tm)
+    }
+
     /// Exports the registry as a nested JSON object: dotted metric
     /// paths become nested objects (`"opt.cse.removed"` →
     /// `{"opt":{"cse":{"removed":…}}}`), members in sorted-path order.
@@ -384,6 +520,78 @@ mod tests {
             tm.summary_line(&["vm.steps", "vm.heap_bytes", "vm.nope"]),
             "steps=12 heap_bytes=30 nope=?"
         );
+    }
+
+    /// The batch driver's correctness condition: recording a stream of
+    /// events split across two registries and merging must equal
+    /// recording the whole stream into one registry.
+    #[test]
+    fn merge_equals_single_registry_recording() {
+        let record = |tm: &Telemetry, vals: &[u64]| {
+            for &v in vals {
+                tm.add("a.counter", v);
+                tm.add_time_ns("a.span_ns", v * 3);
+                tm.observe("a.hist", v);
+            }
+        };
+        let whole = Telemetry::enabled();
+        record(&whole, &[0, 1, 5, 9, 1024, 7]);
+        let left = Telemetry::enabled();
+        record(&left, &[0, 1, 5]);
+        let right = Telemetry::enabled();
+        record(&right, &[9, 1024, 7]);
+        let mut merged = Telemetry::enabled();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged.to_json().render(), whole.to_json().render());
+        assert_eq!(merged.export_flat(), whole.export_flat());
+        // Merge order must not matter either.
+        let mut flipped = Telemetry::enabled();
+        flipped.merge(&right);
+        flipped.merge(&left);
+        assert_eq!(flipped.export_flat(), whole.export_flat());
+    }
+
+    #[test]
+    fn merge_with_disabled_is_noop() {
+        let mut tm = Telemetry::enabled();
+        tm.add("k", 2);
+        tm.merge(&Telemetry::disabled());
+        assert_eq!(tm.counter("k"), Some(2));
+        let mut off = Telemetry::disabled();
+        off.merge(&tm);
+        assert_eq!(off.to_json().render(), "{}");
+    }
+
+    #[test]
+    fn flat_round_trips_losslessly() {
+        let tm = Telemetry::enabled();
+        tm.add("x.count", 41);
+        tm.add_time_ns("x.span_ns", 9000);
+        for v in [0, 3, 3, 900] {
+            tm.observe("x.sizes", v);
+        }
+        let text = tm.export_flat();
+        let back = Telemetry::import_flat(&text).unwrap();
+        assert_eq!(back.export_flat(), text);
+        assert_eq!(back.counter("x.count"), Some(41));
+        // A merged reimport doubles everything, proving buckets survive.
+        let mut doubled = Telemetry::import_flat(&text).unwrap();
+        doubled.merge(&back);
+        for v in [0, 3, 3, 900] {
+            tm.observe("x.sizes", v);
+        }
+        tm.add("x.count", 41);
+        tm.add_time_ns("x.span_ns", 9000);
+        assert_eq!(doubled.export_flat(), tm.export_flat());
+    }
+
+    #[test]
+    fn import_flat_rejects_malformed_lines() {
+        assert!(Telemetry::import_flat("c missing-value").is_err());
+        assert!(Telemetry::import_flat("q name 3").is_err());
+        assert!(Telemetry::import_flat("c name 3 extra").is_err());
+        assert!(Telemetry::import_flat("h name 1 2 3").is_err());
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Quickstart: the full SafeTSA producer → wire → consumer pipeline on
-//! a small Java program.
+//! a small Java program, driven through the unified [`Pipeline`]
+//! facade.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
-use safetsa_core::verify::verify_module;
-use safetsa_vm::Vm;
+use safetsa::{Error, Pipeline};
+use safetsa_telemetry::Telemetry;
 
 const SOURCE: &str = r#"
 class Greeter {
@@ -31,45 +31,46 @@ class Main {
 }
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // ---- producer side ----
-    println!("1. compile Java source to the typed HIR");
-    let prog = safetsa_frontend::compile(SOURCE)?;
+fn main() -> Result<(), Error> {
+    // One Pipeline, configured once: all producer passes, with a
+    // telemetry registry so every stage's counters land in one place.
+    let pipeline = Pipeline::new().telemetry(Telemetry::enabled());
 
-    println!("2. construct SafeTSA (single-pass SSA with type separation)");
-    let lowered = safetsa_ssa::lower_program(&prog)?;
-    let mut module = lowered.module;
+    // ---- producer side ----
+    println!("1. compile: frontend -> SSA construction -> optimize -> verify");
+    let module = pipeline.compile_source(SOURCE)?;
     println!(
-        "   {} functions, {} instructions, {} phis, {} null checks",
+        "   {} functions, {} instructions, {} phis",
         module.functions.len(),
         module.instr_count(),
         module.phi_count(),
-        lowered.stats.iter().map(|s| s.null_checks).sum::<usize>(),
     );
 
-    println!("3. optimize at the producer (constprop + CSE/Mem + DCE)");
-    let stats = safetsa_opt::optimize_module(&mut module);
-    println!(
-        "   instructions {} -> {}, null checks {} -> {}",
-        stats.instrs_before, stats.instrs_after, stats.null_checks_before, stats.null_checks_after
-    );
-
-    println!("4. verify (linear, no dataflow analysis) and encode");
-    verify_module(&module)?;
-    let bytes = encode_module(&module)?;
+    println!("2. encode to the wire format");
+    let bytes = pipeline.encode(&module)?;
     println!("   wire size: {} bytes", bytes.len());
 
     // ---- consumer side ----
-    println!("5. the consumer decodes (checking referential integrity");
+    println!("3. the consumer decodes (checking referential integrity");
     println!("   symbol-by-symbol) and re-verifies");
-    let host = HostEnv::standard();
-    let decoded = decode_and_verify(&bytes, &host)?;
+    let decoded = pipeline.decode(&bytes)?;
 
-    println!("6. execute");
-    let mut vm = Vm::load(&decoded)?;
-    let result = vm.run_entry("Main.main")?;
+    println!("4. execute");
+    let outcome = pipeline.run(&decoded, "Main.main")?;
     println!("--- program output ---");
-    print!("{}", vm.output.text());
-    println!("--- result: {result:?} ---");
+    print!("{}", outcome.output);
+    println!("--- result: {:?} ---", outcome.result?);
+
+    // Every stage recorded into the pipeline's registry.
+    println!(
+        "stage counters: {}",
+        pipeline.metrics().summary_line(&[
+            "frontend.tokens",
+            "ssa.instrs",
+            "opt.instrs.after",
+            "codec.total_bytes",
+            "vm.steps",
+        ])
+    );
     Ok(())
 }

@@ -3,6 +3,10 @@
 //! ```text
 //! safetsa compile <in.java>... -o <out.tsa> [--no-opt]   produce a module
 //!     [--metrics-json PATH]   write a machine-readable metrics report
+//!     [--jobs N] [--cache-dir PATH]   batch mode: compile each input as
+//!     its own module on N workers (0 = one per CPU) behind a
+//!     content-addressed cache; with several inputs, -o names a
+//!     directory that receives one <stem>.tsa per input
 //! safetsa run <file.tsa|file.java> --entry Class.method  decode/verify/run
 //!     [--fuel N] [--max-heap BYTES] [--max-depth N]   resource budgets;
 //!     a resource report (steps, fuel remaining, bytes, peak depth)
@@ -18,7 +22,11 @@
 //!     the VerifyStats on success, the structured error on failure
 //! ```
 
+use safetsa::batch::{run_batch, BatchInput, BatchOptions};
+use safetsa::driver::passes_fingerprint;
+use safetsa::{Error, Pipeline};
 use safetsa_telemetry::{Json, Telemetry};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -33,6 +41,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: safetsa <compile|run|dump|stats|analyze|verify> ...");
             eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt] [--metrics-json PATH]");
+            eprintln!("      [--jobs N] [--cache-dir PATH]");
             eprintln!("  run <file.tsa|file.java> --entry Class.method");
             eprintln!("      [--fuel N] [--max-heap BYTES] [--max-depth N] [--metrics-json PATH]");
             eprintln!("  dump <file.java> [--function Class.method]");
@@ -51,8 +60,6 @@ fn main() -> ExitCode {
     }
 }
 
-type AnyError = Box<dyn std::error::Error>;
-
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
@@ -60,10 +67,19 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, Error>
+where
+    T::Err: std::fmt::Display,
+{
+    flag_value(args, flag)
+        .map(|v| v.parse().map_err(|e| format!("{flag}: {e}").into()))
+        .transpose()
+}
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args {
         if skip {
             skip = false;
             continue;
@@ -79,10 +95,11 @@ fn positional(args: &[String]) -> Vec<&String> {
                     | "--max-heap"
                     | "--max-depth"
                     | "--metrics-json"
+                    | "--jobs"
+                    | "--cache-dir"
             ) {
                 skip = true;
             }
-            let _ = i;
             continue;
         }
         out.push(a);
@@ -97,21 +114,20 @@ struct Built {
     module: safetsa_core::Module,
 }
 
-fn build_module(sources: &[&String], optimize: bool, tm: &Telemetry) -> Result<Built, AnyError> {
+fn read_source(path: &str) -> Result<String, Error> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}").into())
+}
+
+fn build_module(sources: &[&String], pipeline: &Pipeline) -> Result<Built, Error> {
     let texts: Vec<String> = sources
         .iter()
-        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")))
+        .map(|p| read_source(p))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let prog = safetsa_frontend::compile_many_with(&refs, tm)?;
-    let lowered = safetsa_ssa::lower_program_with(&prog, tm)?;
-    let mut module = lowered.module;
-    if optimize {
-        safetsa_opt::optimize_module_traced(&mut module, safetsa_opt::Passes::ALL, tm);
-    }
-    tm.time("verify.module_ns", || {
-        safetsa_core::verify::verify_module(&module)
-    })?;
+    let prog = pipeline.frontend(&refs)?;
+    let mut module = pipeline.lower(&prog)?.module;
+    pipeline.optimize(&mut module);
+    pipeline.verify(&module)?;
     Ok(Built { prog, module })
 }
 
@@ -122,13 +138,14 @@ fn record_baseline(
     prog: &safetsa_frontend::hir::Program,
     tsa_bytes: u64,
     tm: &Telemetry,
-) -> Result<(), AnyError> {
+) -> Result<(), Error> {
     let mut bcode = tm.time("baseline.compile_ns", || {
         safetsa_baseline::compile::compile_program(prog)
     });
     tm.time("baseline.verify_ns", || {
         safetsa_baseline::verify::verify_program(prog, &mut bcode)
-    })?;
+    })
+    .map_err(|e| format!("baseline verify: {e}"))?;
     let class_bytes = safetsa_baseline::classfile::total_size(prog, &bcode) as u64;
     tm.set("baseline.class_file_bytes", class_bytes);
     tm.set("baseline.instrs", bcode.instr_count() as u64);
@@ -138,30 +155,36 @@ fn record_baseline(
     Ok(())
 }
 
-fn write_metrics(path: &str, doc: &Json) -> Result<(), AnyError> {
+fn write_metrics(path: &str, doc: &Json) -> Result<(), Error> {
     std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}").into())
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
+fn cmd_compile(args: &[String]) -> Result<(), Error> {
     let out = flag_value(args, "-o").ok_or("missing -o <out.tsa>")?;
     let optimize = !args.iter().any(|a| a == "--no-opt");
     let metrics_path = flag_value(args, "--metrics-json");
+    let jobs: Option<usize> = parse_flag(args, "--jobs")?;
+    let cache_dir = flag_value(args, "--cache-dir");
+    let sources = positional(args);
+    if sources.is_empty() {
+        return Err("no input files".into());
+    }
+    if jobs.is_some() || cache_dir.is_some() {
+        return compile_batch(&sources, out, optimize, metrics_path, jobs, cache_dir);
+    }
     let tm = if metrics_path.is_some() {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
-    let sources = positional(args);
-    if sources.is_empty() {
-        return Err("no input files".into());
-    }
-    let built = build_module(&sources, optimize, &tm)?;
-    let bytes = safetsa_codec::encode_module_traced(&built.module, &tm)?;
-    std::fs::write(out, &bytes)?;
+    let pipeline = configure_pipeline(optimize, tm);
+    let built = build_module(&sources, &pipeline)?;
+    let bytes = pipeline.encode(&built.module)?;
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
     if let Some(path) = metrics_path {
-        record_baseline(&built.prog, bytes.len() as u64, &tm)?;
+        record_baseline(&built.prog, bytes.len() as u64, pipeline.metrics())?;
         let subject: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
-        write_metrics(path, &tm.report("compile", &subject.join(" ")))?;
+        write_metrics(path, &pipeline.metrics().report("compile", &subject.join(" ")))?;
     }
     println!(
         "wrote {out}: {} bytes, {} functions, {} instructions, {} phis",
@@ -173,55 +196,145 @@ fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), AnyError> {
+/// A [`Pipeline`] matching the CLI's `--no-opt` convention.
+fn configure_pipeline(optimize: bool, tm: Telemetry) -> Pipeline {
+    let p = Pipeline::new().telemetry(tm);
+    if optimize {
+        p
+    } else {
+        p.no_optimize()
+    }
+}
+
+/// The configuration half of the CLI's cache key. Everything that
+/// changes the produced artifact or its metrics is folded in: the pass
+/// configuration and whether metrics (including the baseline plane)
+/// were recorded.
+fn compile_fingerprint(optimize: bool, telemetry: bool) -> String {
+    let passes = if optimize {
+        passes_fingerprint(&safetsa::opt::Passes::ALL)
+    } else {
+        "noopt".to_string()
+    };
+    format!("cli-compile/{passes}/m{}", u8::from(telemetry))
+}
+
+/// Batch mode: each input file becomes its own module, compiled on a
+/// worker pool behind the content-addressed cache.
+fn compile_batch(
+    sources: &[&String],
+    out: &str,
+    optimize: bool,
+    metrics_path: Option<&str>,
+    jobs: Option<usize>,
+    cache_dir: Option<&str>,
+) -> Result<(), Error> {
+    let telemetry = metrics_path.is_some();
+    let inputs: Vec<BatchInput> = sources
+        .iter()
+        .map(|p| {
+            Ok(BatchInput {
+                name: (*p).clone(),
+                source: read_source(p)?,
+            })
+        })
+        .collect::<Result<_, Error>>()?;
+    let mut opts = BatchOptions::new(compile_fingerprint(optimize, telemetry));
+    opts.jobs = jobs.unwrap_or(0);
+    opts.cache_dir = cache_dir.map(PathBuf::from);
+    opts.telemetry = telemetry;
+    let report = run_batch(&inputs, &opts, |_idx, input| {
+        let tm = if telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let pipeline = configure_pipeline(optimize, tm);
+        let prog = pipeline.frontend(&[input.source.as_str()])?;
+        let mut module = pipeline.lower(&prog)?.module;
+        pipeline.optimize(&mut module);
+        pipeline.verify(&module)?;
+        let bytes = pipeline.encode(&module)?;
+        if telemetry {
+            record_baseline(&prog, bytes.len() as u64, pipeline.metrics())?;
+        }
+        Ok((bytes, pipeline.into_metrics()))
+    })?;
+    // One input: -o names the output file. Several: -o names a
+    // directory receiving one <stem>.tsa per input.
+    let single = report.items.len() == 1;
+    if !single {
+        std::fs::create_dir_all(out).map_err(|e| format!("{out}: {e}"))?;
+    }
+    for item in &report.items {
+        let path = if single {
+            PathBuf::from(out)
+        } else {
+            let stem = Path::new(&item.name)
+                .file_stem()
+                .map_or_else(|| item.name.clone().into(), |s| s.to_os_string());
+            Path::new(out).join(stem).with_extension("tsa")
+        };
+        std::fs::write(&path, &item.bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "wrote {}: {} bytes{}",
+            path.display(),
+            item.bytes.len(),
+            if item.cache_hit { " (cache hit)" } else { "" }
+        );
+    }
+    println!(
+        "batch: {} module(s) on {} worker(s), cache {} hit(s) / {} miss(es), {} ms",
+        report.items.len(),
+        report.jobs,
+        report.cache_hits,
+        report.cache_misses,
+        report.wall_ns / 1_000_000
+    );
+    if let Some(path) = metrics_path {
+        let subject: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        write_metrics(path, &report.merged.report("compile", &subject.join(" ")))?;
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Error> {
     let entry = flag_value(args, "--entry").ok_or("missing --entry Class.method")?;
-    let fuel: u64 = flag_value(args, "--fuel")
-        .map(str::parse)
-        .transpose()?
-        .unwrap_or(1_000_000_000);
-    let max_heap: Option<u64> = flag_value(args, "--max-heap").map(str::parse).transpose()?;
-    let max_depth: Option<u32> = flag_value(args, "--max-depth").map(str::parse).transpose()?;
+    let fuel: u64 = parse_flag(args, "--fuel")?.unwrap_or(1_000_000_000);
+    let max_heap: Option<u64> = parse_flag(args, "--max-heap")?;
+    let max_depth: Option<u32> = parse_flag(args, "--max-depth")?;
     let metrics_path = flag_value(args, "--metrics-json");
     // The registry also backs the stderr resource report, so `run`
-    // always records; the VM's per-opcode histogram stays off unless a
-    // metrics report was requested.
-    let tm = Telemetry::enabled();
+    // always records.
+    let pipeline = Pipeline::new()
+        .telemetry(Telemetry::enabled())
+        .limits(safetsa_vm::ResourceLimits {
+            fuel: Some(fuel),
+            max_heap_bytes: max_heap,
+            max_call_depth: max_depth,
+        });
     let files = positional(args);
     let file = files.first().ok_or("no input file")?;
     let module = if file.ends_with(".tsa") {
-        let bytes = std::fs::read(file.as_str())?;
-        tm.set("codec.total_bytes", bytes.len() as u64);
-        let host = safetsa_codec::HostEnv::standard();
-        tm.time("codec.decode_ns", || {
-            safetsa_codec::decode_and_verify(&bytes, &host)
-        })?
+        let bytes = std::fs::read(file.as_str()).map_err(|e| format!("{file}: {e}"))?;
+        pipeline.decode(&bytes)?
     } else {
-        let built = build_module(&files, true, &tm)?;
+        let built = build_module(&files, &pipeline)?;
         if metrics_path.is_some() {
             // Encoding is not needed to interpret, but the metrics
             // report covers the codec plane for source inputs too.
-            let bytes = safetsa_codec::encode_module_traced(&built.module, &tm)?;
-            record_baseline(&built.prog, bytes.len() as u64, &tm)?;
+            let bytes = pipeline.encode(&built.module)?;
+            record_baseline(&built.prog, bytes.len() as u64, pipeline.metrics())?;
         }
         built.module
     };
-    let mut vm = safetsa_vm::Vm::load(&module)?;
-    if metrics_path.is_some() {
-        vm.enable_stats();
-    }
-    vm.set_limits(safetsa_vm::ResourceLimits {
-        fuel: Some(fuel),
-        max_heap_bytes: max_heap,
-        max_call_depth: max_depth,
-    });
-    let result = vm.run_entry(entry);
-    print!("{}", vm.output.text());
-    vm.export_metrics(&tm);
+    let outcome = pipeline.run(&module, entry)?;
+    print!("{}", outcome.output);
     // The report goes to stderr so scripted consumers of stdout see
     // only program output.
     eprintln!(
         "resource report: {}",
-        tm.summary_line(&[
+        pipeline.metrics().summary_line(&[
             "vm.steps",
             "vm.fuel_remaining",
             "vm.heap.bytes_allocated",
@@ -229,18 +342,18 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         ])
     );
     if let Some(path) = metrics_path {
-        write_metrics(path, &tm.report("run", file))?;
+        write_metrics(path, &pipeline.metrics().report("run", file))?;
     }
-    if let Some(v) = result? {
+    if let Some(v) = outcome.result? {
         println!("=> {v:?}");
     }
     Ok(())
 }
 
-fn cmd_dump(args: &[String]) -> Result<(), AnyError> {
+fn cmd_dump(args: &[String]) -> Result<(), Error> {
     let files = positional(args);
     let file = files.first().ok_or("no input file")?;
-    let built = build_module(&[file], false, &Telemetry::disabled())?;
+    let built = build_module(&[file], &Pipeline::new().no_optimize())?;
     let module = built.module;
     let wanted = flag_value(args, "--function");
     let view = flag_value(args, "--view").unwrap_or("safetsa");
@@ -279,7 +392,7 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
 
 /// Lints the unoptimized IR of the given sources. Returns whether any
 /// error-severity diagnostic was reported.
-fn run_analyze(args: &[String]) -> Result<bool, AnyError> {
+fn run_analyze(args: &[String]) -> Result<bool, Error> {
     let json = args.iter().any(|a| a == "--json");
     let sources = positional(args);
     if sources.is_empty() {
@@ -287,7 +400,7 @@ fn run_analyze(args: &[String]) -> Result<bool, AnyError> {
     }
     // The linter reads the freshly lowered module: diagnostics point at
     // what the programmer wrote, not at what the optimizer left behind.
-    let built = build_module(&sources, false, &Telemetry::disabled())?;
+    let built = build_module(&sources, &Pipeline::new().no_optimize())?;
     let diags = safetsa_analysis::lint_module(&built.module);
     let errors = diags
         .iter()
@@ -345,13 +458,13 @@ fn run_analyze(args: &[String]) -> Result<bool, AnyError> {
     Ok(errors > 0)
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), AnyError> {
+fn cmd_verify(args: &[String]) -> Result<(), Error> {
     let files = positional(args);
     let file = files.first().ok_or("no input file")?;
     if !file.ends_with(".tsa") {
         return Err(format!("{file}: expected a .tsa module").into());
     }
-    let bytes = std::fs::read(file.as_str())?;
+    let bytes = std::fs::read(file.as_str()).map_err(|e| format!("{file}: {e}"))?;
     let host = safetsa_codec::HostEnv::standard();
     // Decode *without* the bundled verification so a verifier rejection
     // surfaces as the structured `VerifyError`, not a decode error.
@@ -372,29 +485,30 @@ fn ns(tm: &Telemetry, key: &str) -> u64 {
     tm.counter(key).unwrap_or(0)
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
+fn cmd_stats(args: &[String]) -> Result<(), Error> {
     let files = positional(args);
     if files.is_empty() {
         return Err("no input files".into());
     }
-    let tm = Telemetry::enabled();
+    let pipeline = Pipeline::new().telemetry(Telemetry::enabled());
     let texts: Vec<String> = files
         .iter()
-        .map(|p| std::fs::read_to_string(p.as_str()).map_err(|e| format!("{p}: {e}")))
+        .map(|p| read_source(p))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let prog = safetsa_frontend::compile_many_with(&refs, &tm)?;
-    let lowered = safetsa_ssa::lower_program_with(&prog, &tm)?;
+    let prog = pipeline.frontend(&refs)?;
+    let lowered = pipeline.lower(&prog)?;
     let cons = lowered.totals();
     let mut module = lowered.module;
     let unopt_bytes = safetsa_codec::encode_module(&module)?.len();
     let unopt_instrs = module.instr_count() + module.phi_count();
-    let stats = safetsa_opt::optimize_module_traced(&mut module, safetsa_opt::Passes::ALL, &tm);
-    let (opt_bytes, sections) = safetsa_codec::encode_module_sections(&module)?;
-    safetsa_codec::record_sections(&sections, &tm);
+    let stats = pipeline.optimize(&mut module);
+    let (opt_bytes, sections) = safetsa_codec::encode_sections(&module)?;
+    safetsa_codec::record_sections(&sections, pipeline.metrics());
     let opt_bytes = opt_bytes.len();
     let mut bcode = safetsa_baseline::compile::compile_program(&prog);
-    safetsa_baseline::verify::verify_program(&prog, &mut bcode)?;
+    safetsa_baseline::verify::verify_program(&prog, &mut bcode)
+        .map_err(|e| format!("baseline verify: {e}"))?;
     let class_bytes = safetsa_baseline::classfile::total_size(&prog, &bcode);
     println!(
         "Java bytecode : {:>7} instructions, {:>8} bytes",
@@ -422,13 +536,14 @@ fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
         cons.phis_inserted,
         cons.phis_candidate - cons.phis_inserted
     );
+    let tm = pipeline.metrics();
     println!(
         "phases        : lex {}us, parse {}us, sema {}us, lower {}us, opt {}us",
-        ns(&tm, "frontend.lex_ns") / 1000,
-        ns(&tm, "frontend.parse_ns") / 1000,
-        ns(&tm, "frontend.sema_ns") / 1000,
-        ns(&tm, "ssa.lower_ns") / 1000,
-        ns(&tm, "opt.optimize_ns") / 1000,
+        ns(tm, "frontend.lex_ns") / 1000,
+        ns(tm, "frontend.parse_ns") / 1000,
+        ns(tm, "frontend.sema_ns") / 1000,
+        ns(tm, "ssa.lower_ns") / 1000,
+        ns(tm, "opt.optimize_ns") / 1000,
     );
     println!(
         "passes        : constprop -{}, cse -{}, dce -{}",

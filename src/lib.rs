@@ -4,18 +4,37 @@
 //! every stage of the pipeline and hosts the `safetsa` CLI, the
 //! examples, and the cross-crate integration tests.
 //!
-//! Start with [`frontend::compile`] → [`ssa::lower_program`] →
-//! [`opt::optimize_module`] → [`codec::encode_module`] →
-//! [`codec::decode_and_verify`] → [`vm::Vm`]. See the README for the
-//! full tour.
+//! Start with [`Pipeline`]: configure it once (passes, telemetry,
+//! resource limits) and drive source → module → wire bytes → executed
+//! result through one object, with every failure reported as the
+//! unified [`Error`]. For many-file workloads, [`batch`] compiles
+//! modules in parallel on a worker pool behind a content-addressed
+//! cache. The per-stage crates remain available underneath for
+//! fine-grained control. See the README for the full tour.
+//!
+//! ```
+//! use safetsa::Pipeline;
+//!
+//! let pipeline = Pipeline::new();
+//! let module = pipeline.compile_source(
+//!     "class M { static int main() { return 6 * 7; } }",
+//! )?;
+//! let bytes = pipeline.encode(&module)?;
+//! let outcome = pipeline.run(&pipeline.decode(&bytes)?, "M.main")?;
+//! assert_eq!(outcome.result?, Some(safetsa::rt::Value::I(42)));
+//! # Ok::<(), safetsa::Error>(())
+//! ```
 
 #![warn(missing_docs)]
 
 pub use safetsa_baseline as baseline;
 pub use safetsa_codec as codec;
 pub use safetsa_core as core;
+pub use safetsa_driver as driver;
 pub use safetsa_frontend as frontend;
 pub use safetsa_opt as opt;
 pub use safetsa_rt as rt;
 pub use safetsa_ssa as ssa;
 pub use safetsa_vm as vm;
+
+pub use safetsa_driver::{batch, Error, Pipeline, RunOutcome};

@@ -12,9 +12,10 @@
 use safetsa_baseline::{compile as bcompile, interp::Bvm, verify as bverify};
 use safetsa_core::verify::verify_module;
 use safetsa_frontend::compile;
-use safetsa_opt::{optimize_module_with, Passes};
+use safetsa_opt::Passes;
 use safetsa_rt::Value;
 use safetsa_ssa::lower_program;
+use safetsa_telemetry::Telemetry;
 use safetsa_vm::Vm;
 
 /// Runs `entry` under all three engines and asserts identical outcomes.
@@ -29,7 +30,7 @@ fn differential(src: &str, entry: &str) -> (Option<Value>, String) {
     let tsa_out = vm.output.text().to_string();
     // Optimized SafeTSA side: every producer pass, checkelim included.
     let mut optimized = lowered.module.clone();
-    optimize_module_with(&mut optimized, Passes::ALL);
+    safetsa_opt::optimize(&mut optimized, Passes::ALL, &Telemetry::disabled());
     verify_module(&optimized).expect("optimized SafeTSA verifies");
     let mut ovm = Vm::load(&optimized).expect("optimized vm loads");
     ovm.set_fuel(100_000_000);
@@ -83,7 +84,7 @@ fn corpus_optimized_matches_unoptimized() {
         let prog = compile(entry.source).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         let lowered = lower_program(&prog).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         let mut optimized = lowered.module.clone();
-        optimize_module_with(&mut optimized, Passes::ALL);
+        safetsa_opt::optimize(&mut optimized, Passes::ALL, &Telemetry::disabled());
         verify_module(&optimized)
             .unwrap_or_else(|e| panic!("{}: optimized module rejected: {e}", entry.name));
         let run = |m: &safetsa_core::Module| {

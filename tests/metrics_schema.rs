@@ -137,3 +137,77 @@ fn metrics_json_schema_is_stable_and_deterministic() {
     check_golden("metrics_compile_keys.txt", &compile_keys);
     check_golden("metrics_run_keys.txt", &run_keys);
 }
+
+/// `--jobs`/`--cache-dir` may only *add* key paths, and only in the
+/// `driver.*`/`cache.*` planes: the per-stage compilation metrics of a
+/// batch run must be indistinguishable from a serial run's.
+#[test]
+fn batch_compile_adds_only_driver_and_cache_keys() {
+    let entry = safetsa_bench::corpus()
+        .into_iter()
+        .find(|e| e.name == "QuickSort")
+        .expect("QuickSort in corpus");
+    let dir = std::env::temp_dir().join("safetsa-metrics-schema-jobs");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("QuickSort.java");
+    std::fs::write(&src, entry.source).unwrap();
+    let src_s = src.to_str().unwrap();
+    let serial_tsa = dir.join("serial.tsa");
+    let batch_tsa = dir.join("batch.tsa");
+    let cache = dir.join("cache");
+
+    let serial = metrics_doc(
+        &dir,
+        &["compile", src_s, "-o", serial_tsa.to_str().unwrap()],
+        "serial.json",
+    );
+    let batch = metrics_doc(
+        &dir,
+        &[
+            "compile",
+            src_s,
+            "-o",
+            batch_tsa.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ],
+        "batch.json",
+    );
+
+    // The artifact itself is byte-identical whichever driver produced it.
+    assert_eq!(
+        std::fs::read(&serial_tsa).unwrap(),
+        std::fs::read(&batch_tsa).unwrap(),
+        "batch-compiled .tsa differs from serial"
+    );
+
+    let serial_leaves: std::collections::BTreeMap<String, String> =
+        leaves(&serial).into_iter().collect();
+    let batch_leaves: std::collections::BTreeMap<String, String> =
+        leaves(&batch).into_iter().collect();
+    for k in serial_leaves.keys() {
+        assert!(
+            batch_leaves.contains_key(k),
+            "batch document dropped serial key {k}"
+        );
+    }
+    for (k, v) in &batch_leaves {
+        match serial_leaves.get(k) {
+            Some(sv) => {
+                if !k.ends_with("_ns") {
+                    assert_eq!(sv, v, "batch changed the value of serial key {k}");
+                }
+            }
+            None => assert!(
+                k.starts_with("metrics.driver.") || k.starts_with("metrics.cache."),
+                "batch added key {k} outside the driver/cache planes"
+            ),
+        }
+    }
+
+    let batch_keys: Vec<String> = leaves(&batch).into_iter().map(|(k, _)| k).collect();
+    check_golden("metrics_compile_jobs_keys.txt", &batch_keys);
+}

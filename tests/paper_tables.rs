@@ -10,7 +10,7 @@
 use safetsa_bench::corpus;
 use safetsa_core::instr::Instr;
 use safetsa_core::Module;
-use safetsa_opt::{optimize_module_traced, optimize_module_with, Passes};
+use safetsa_opt::Passes;
 use safetsa_telemetry::Telemetry;
 
 fn static_checks(m: &Module) -> (u64, u64) {
@@ -28,8 +28,8 @@ fn static_checks(m: &Module) -> (u64, u64) {
 }
 
 fn build(source: &str, tm: &Telemetry) -> Module {
-    let prog = safetsa_frontend::compile_with(source, tm).unwrap();
-    safetsa_ssa::lower_program_with(&prog, tm).unwrap().module
+    let prog = safetsa_frontend::compile_sources(&[source], tm).unwrap();
+    safetsa_ssa::construct(&prog, tm).unwrap().module
 }
 
 /// The `ssa.*_checks_inserted` counters are the static truth: they must
@@ -82,7 +82,7 @@ fn cse_never_increases_check_count() {
             ("all", Passes::ALL),
         ] {
             let mut m = base.clone();
-            optimize_module_with(&mut m, passes);
+            safetsa_opt::optimize(&mut m, passes, &Telemetry::disabled());
             let (nulls_after, indexes_after) = static_checks(&m);
             assert!(
                 nulls_after <= nulls_before,
@@ -114,10 +114,10 @@ fn checkelim_eliminates_more_than_cse_alone() {
         let base = build(entry.source, &tm);
         let (nb, ib) = static_checks(&base);
         let mut m_cse = base.clone();
-        optimize_module_with(&mut m_cse, without);
+        safetsa_opt::optimize(&mut m_cse, without, &Telemetry::disabled());
         let (n1, i1) = static_checks(&m_cse);
         let mut m_all = base.clone();
-        optimize_module_with(&mut m_all, Passes::ALL);
+        safetsa_opt::optimize(&mut m_all, Passes::ALL, &Telemetry::disabled());
         let (n2, i2) = static_checks(&m_all);
         let elim_cse = (nb - n1) + (ib - i1);
         let elim_all = (nb - n2) + (ib - i2);
@@ -145,7 +145,7 @@ fn eliminated_check_counters_match_static_diff() {
         let tm = Telemetry::enabled();
         let mut module = build(entry.source, &tm);
         let before = static_checks(&module);
-        optimize_module_traced(&mut module, Passes::ALL, &tm);
+        safetsa_opt::optimize(&mut module, Passes::ALL, &tm);
         let after = static_checks(&module);
         assert_eq!(
             tm.counter("opt.null_checks.before"),
