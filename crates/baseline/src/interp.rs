@@ -266,7 +266,7 @@ impl<'p> Bvm<'p> {
             Trap::OutOfMemory => self.prog.oom_error,
             Trap::StackOverflow => self.prog.stack_overflow_error,
             Trap::User(_) => return None, // class read from the object
-            Trap::Internal(_) | Trap::OutOfFuel => return None,
+            Trap::Internal(_) | Trap::OutOfFuel | Trap::DeadlineExceeded => return None,
         })
     }
 
@@ -892,7 +892,7 @@ impl<'p> Bvm<'p> {
                 *pc += 1;
                 Ok(StepResult::Next)
             }
-            Err(t @ (Trap::Internal(_) | Trap::OutOfFuel)) => Err(t),
+            Err(t @ (Trap::Internal(_) | Trap::OutOfFuel | Trap::DeadlineExceeded)) => Err(t),
             Err(t) => Ok(StepResult::Throw(t)),
         }
     }

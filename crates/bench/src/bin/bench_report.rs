@@ -28,6 +28,7 @@
 //! threshold entry only warns, so adding corpus programs does not break
 //! CI until a threshold is blessed.
 
+use safetsa_bench::serve::{run_loadgen, LoadgenOptions};
 use safetsa_bench::{corpus_report, ProgramReport};
 use safetsa_driver::batch::BatchReport;
 use safetsa_telemetry::Json;
@@ -83,7 +84,15 @@ fn main() -> ExitCode {
         return check_thresholds(&reports, &path);
     }
 
-    let doc = aggregate(&reports, &batch);
+    let serve = run_loadgen(&LoadgenOptions::default());
+    if !serve.violations.is_empty() {
+        for v in &serve.violations {
+            eprintln!("bench_report: serve VIOLATION: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let doc = aggregate(&reports, &batch, serve.to_json());
     if let Err(e) = std::fs::write(&out_path, doc.render_pretty()) {
         eprintln!("bench_report: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -105,6 +114,14 @@ fn main() -> ExitCode {
         batch.cache_hits,
         batch.cache_misses,
     );
+    println!(
+        "bench_report: serve loadgen {} requests ({} shed, {} panics isolated), p50 {} us / p99 {} us",
+        serve.requests,
+        serve.shed,
+        serve.panic_isolated,
+        serve.p50_ns / 1_000,
+        serve.p99_ns / 1_000,
+    );
     ExitCode::SUCCESS
 }
 
@@ -121,9 +138,9 @@ fn total_ratio_permille(reports: &[ProgramReport]) -> u64 {
 }
 
 /// Builds the `safetsa-bench/1` aggregate: corpus totals up front
-/// (including the batch-driver measurements), then the full per-program
-/// metrics documents.
-fn aggregate(reports: &[ProgramReport], batch: &BatchReport) -> Json {
+/// (including the batch-driver measurements and the serve-daemon
+/// loadgen summary), then the full per-program metrics documents.
+fn aggregate(reports: &[ProgramReport], batch: &BatchReport, serve: Json) -> Json {
     let mut driver = Json::obj();
     driver.set("jobs", Json::U64(batch.jobs as u64));
     driver.set("wall_ns", Json::U64(batch.wall_ns));
@@ -135,6 +152,7 @@ fn aggregate(reports: &[ProgramReport], batch: &BatchReport) -> Json {
     let mut totals = Json::obj();
     totals.set("programs", Json::U64(reports.len() as u64));
     totals.set("driver", driver);
+    totals.set("serve", serve);
     totals.set(
         "safetsa_opt_bytes",
         Json::U64(reports.iter().map(|r| r.opt_size).sum()),

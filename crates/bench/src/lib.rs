@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod serve;
+
 use safetsa_baseline::{classfile, compile as bcompile, verify as bverify};
 use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
 use safetsa_core::verify::verify_module;

@@ -20,8 +20,20 @@ use crate::cache::Cache;
 use crate::Error;
 use safetsa_telemetry::Telemetry;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Renders a caught panic payload as a message (the two shapes `panic!`
+/// actually produces, with a fallback for exotic payloads).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One unit of batch work: a named source text.
 #[derive(Debug, Clone)]
@@ -158,8 +170,10 @@ where
     };
     let jobs = opts.effective_jobs(inputs.len());
     let next = AtomicUsize::new(0);
+    let degraded = AtomicU64::new(0);
     let work = &work;
     let cache = &cache;
+    let degraded = &degraded;
 
     let run_task = |idx: usize, input: &BatchInput| -> Result<TaskOut, Error> {
         let task_started = Instant::now();
@@ -183,7 +197,13 @@ where
         }
         let (bytes, tm) = work(idx, input)?;
         if let Some(cache) = cache {
-            cache.store(key, &bytes, &tm.export_flat())?;
+            // A failed store (vanished/readonly cache dir) degrades to
+            // cache-off operation for this task: the artifact is still
+            // produced, and the degradation is counted in the merged
+            // `cache.degraded` metric.
+            if !cache.store_degrading(key, &bytes, &tm.export_flat()) {
+                degraded.fetch_add(1, Ordering::Relaxed);
+            }
         }
         Ok(TaskOut {
             bytes,
@@ -205,15 +225,29 @@ where
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(input) = inputs.get(idx) else { break };
-                        done.push((idx, run_task(idx, input)));
+                        // Panic isolation: a panicking work closure (or
+                        // a compiler bug it tickles) becomes this
+                        // task's error while the remaining tasks — on
+                        // this worker and the others — still complete.
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_task(idx, input)
+                        }))
+                        .unwrap_or_else(|p| Err(Error::Panic(panic_message(p.as_ref()))));
+                        done.push((idx, out));
                     }
                     done
                 })
             })
             .collect();
         for h in handles {
-            for (idx, out) in h.join().expect("batch worker panicked") {
-                slots[idx] = Some(out);
+            // With per-task catch_unwind above a worker can only die on
+            // a panic *between* tasks (allocator failure and the like);
+            // its claimed-but-unreported tasks surface as `Panic` via
+            // the still-empty slots below instead of poisoning the run.
+            if let Ok(done) = h.join() {
+                for (idx, out) in done {
+                    slots[idx] = Some(out);
+                }
             }
         }
     });
@@ -226,7 +260,8 @@ where
     };
     let (mut hits, mut misses, mut tasks_wall_ns) = (0u64, 0u64, 0u64);
     for (input, slot) in inputs.iter().zip(slots) {
-        let out = slot.expect("every index was scheduled")?;
+        let out = slot
+            .unwrap_or_else(|| Err(Error::Panic("batch worker died before reporting".into())))?;
         merged.merge(&out.metrics);
         hits += u64::from(out.cache_hit);
         misses += u64::from(!out.cache_hit);
@@ -246,6 +281,7 @@ where
     merged.add_time_ns("driver.tasks_wall_ns", tasks_wall_ns);
     merged.set("cache.hits", hits);
     merged.set("cache.misses", misses);
+    merged.set("cache.degraded", degraded.load(Ordering::Relaxed));
     Ok(BatchReport {
         items,
         merged,
@@ -317,6 +353,68 @@ mod tests {
         };
         let err = run_batch(&ins, &opts, failing).unwrap_err();
         assert_eq!(err.to_string(), "task 2 failed");
+    }
+
+    /// Regression test for the old `h.join().expect("batch worker
+    /// panicked")`: a deliberately panicking stage must become that
+    /// task's `Error::Panic` while every other task still completes
+    /// (proved by the lowest-index-error contract still holding and by
+    /// the run not aborting the process).
+    #[test]
+    fn panicking_stage_becomes_a_task_error_not_a_crash() {
+        let ins = inputs(8);
+        let mut opts = BatchOptions::new("t");
+        opts.jobs = 4;
+        let bomb = |idx: usize, input: &BatchInput| {
+            if idx == 3 {
+                panic!("injected stage panic on task {idx}");
+            }
+            work(idx, input)
+        };
+        let err = run_batch(&ins, &opts, bomb).unwrap_err();
+        assert!(matches!(err, Error::Panic(_)), "{err}");
+        assert!(err.to_string().contains("injected stage panic on task 3"));
+        assert_eq!(err.kind(), "panic");
+        // Two bombs: the lowest-indexed one is reported, which requires
+        // the other tasks (including the second bomb) to have run to
+        // completion rather than tearing the pool down.
+        let two = |idx: usize, input: &BatchInput| {
+            if idx == 2 || idx == 6 {
+                panic!("bomb {idx}");
+            }
+            work(idx, input)
+        };
+        let err = run_batch(&ins, &opts, two).unwrap_err();
+        assert!(err.to_string().contains("bomb 2"), "{err}");
+    }
+
+    /// A cache directory deleted mid-run degrades stores to cache-off
+    /// operation: every task still succeeds and the merged metrics
+    /// count the degradations.
+    #[test]
+    fn vanished_cache_dir_degrades_with_counter() {
+        let dir = std::env::temp_dir().join(format!(
+            "safetsa-batch-degrade-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ins = inputs(4);
+        let mut opts = BatchOptions::new("t");
+        opts.telemetry = true;
+        opts.cache_dir = Some(dir.clone());
+        // Sabotage: replace the cache directory with a plain file after
+        // open() created it, so every store fails even after the
+        // recreate-and-retry.
+        let sab = |idx: usize, input: &BatchInput| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let _ = std::fs::write(&dir, b"not a directory");
+            work(idx, input)
+        };
+        let report = run_batch(&ins, &opts, sab).unwrap();
+        assert_eq!(report.items.len(), 4);
+        assert_eq!(report.merged.counter("cache.degraded"), Some(4));
+        assert_eq!(report.cache_hits, 0);
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -153,6 +153,24 @@ impl Cache {
         }
         std::fs::rename(&tmp, &path)
     }
+
+    /// Stores an entry, degrading instead of failing: a vanished cache
+    /// directory is recreated and the write retried once; any remaining
+    /// I/O failure (directory gone again, filesystem readonly or full)
+    /// is swallowed. Returns whether the entry was actually written, so
+    /// callers can count degradations — the cache is an accelerator,
+    /// and a concurrent `rm -rf` of it must cost a counter increment,
+    /// never a failed compilation.
+    pub fn store_degrading(&self, key: u64, bytes: &[u8], metrics: &str) -> bool {
+        if self.store(key, bytes, metrics).is_ok() {
+            return true;
+        }
+        // The common mid-run fault: the directory was removed under us.
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        self.store(key, bytes, metrics).is_ok()
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +210,33 @@ mod tests {
         std::fs::write(&path, &data[..data.len() - 2]).unwrap();
         assert!(cache.load(key).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vanished_directory_degrades_instead_of_failing() {
+        let dir = std::env::temp_dir().join(format!(
+            "safetsa-cache-degrade-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::open(&dir).unwrap();
+        let key = Cache::key("cfg", b"src");
+        // Directory removed mid-run: load degrades to a miss, and
+        // store_degrading recreates the directory and succeeds.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(cache.load(key).is_none());
+        assert!(cache.store_degrading(key, &[9, 9], "c a.b 1\n"));
+        assert_eq!(cache.load(key), Some((vec![9, 9], "c a.b 1\n".into())));
+        // Directory replaced by a plain file (stands in for a readonly
+        // or otherwise unusable mount — root ignores permission bits,
+        // so a chmod-based test would be vacuous here): store degrades
+        // to "not written" rather than erroring, load is a miss.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        assert!(!cache.store_degrading(key, &[9, 9], "c a.b 1\n"));
+        assert!(cache.load(key).is_none());
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub enum Error {
     Io(std::io::Error),
     /// The driver was invoked incorrectly (bad flags, missing inputs).
     Usage(String),
+    /// A pipeline stage panicked and the panic was isolated at a task
+    /// or request boundary (the batch driver and the serve daemon catch
+    /// unwinds so one fault cannot take down sibling work). The payload
+    /// is the panic message.
+    Panic(String),
 }
 
 impl fmt::Display for Error {
@@ -50,6 +55,7 @@ impl fmt::Display for Error {
             Error::Vm(e) => write!(f, "{e}"),
             Error::Io(e) => write!(f, "{e}"),
             Error::Usage(msg) => write!(f, "{msg}"),
+            Error::Panic(msg) => write!(f, "panicked: {msg}"),
         }
     }
 }
@@ -65,7 +71,45 @@ impl std::error::Error for Error {
             Error::Vm(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::Usage(_) => None,
+            Error::Panic(_) => None,
         }
+    }
+}
+
+impl Error {
+    /// A stable machine-readable kind for this failure — the `kind`
+    /// field of the serve protocol's error responses and the CLI's
+    /// one-line `error[kind]` diagnostics. Resource-exhaustion traps
+    /// get their own kinds so operators can tell a hostile program from
+    /// a broken one without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Compile(_) => "compile",
+            Error::Lower(_) => "lower",
+            Error::Verify(_) => "verify",
+            Error::Encode(_) => "encode",
+            Error::Decode(_) => "decode",
+            Error::Vm(VmError::Load(_)) => "vm_load",
+            Error::Vm(VmError::FuelExhausted) => "fuel_exhausted",
+            Error::Vm(VmError::DeadlineExceeded) => "deadline_exceeded",
+            Error::Vm(VmError::Uncaught(_)) => "vm_trap",
+            Error::Vm(VmError::Internal(_)) => "vm_internal",
+            Error::Io(_) => "io",
+            Error::Usage(_) => "usage",
+            Error::Panic(_) => "panic",
+        }
+    }
+
+    /// Whether this failure is *request-level*: the input was
+    /// well-formed enough to be attempted, and a different input (or a
+    /// bigger budget) would have succeeded. The CLI maps request-level
+    /// failures to exit 1 and everything else (usage / unbuildable
+    /// input / I/O) to exit 2.
+    pub fn is_request_level(&self) -> bool {
+        matches!(
+            self,
+            Error::Verify(_) | Error::Encode(_) | Error::Decode(_) | Error::Vm(_) | Error::Panic(_)
+        )
     }
 }
 

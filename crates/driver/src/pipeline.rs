@@ -42,6 +42,7 @@ pub struct Pipeline {
     passes: PassConfig,
     tm: Telemetry,
     limits: ResourceLimits,
+    deadline: Option<std::time::Instant>,
 }
 
 /// Producer-side optimization setting.
@@ -106,6 +107,34 @@ impl Pipeline {
         self
     }
 
+    /// Sets a wall-clock deadline for [`Pipeline::run`]: the VM checks
+    /// the clock every fuel slice (see [`safetsa_vm::DEADLINE_SLICE`])
+    /// and aborts with a `deadline_exceeded` failure once it passes.
+    /// The serve daemon stamps each request with its admission deadline
+    /// this way, so no request can hold a worker forever.
+    pub fn deadline(mut self, deadline: std::time::Instant) -> Pipeline {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The failure the compile-side stages report when the configured
+    /// deadline has already passed — callers that run multi-stage work
+    /// (the serve daemon's workers) call this between stages so compile
+    /// requests respect deadlines too, not just VM execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Vm`] with
+    /// [`VmError::DeadlineExceeded`] iff the deadline has passed.
+    pub fn check_deadline(&self) -> Result<(), Error> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => {
+                Err(Error::Vm(VmError::DeadlineExceeded))
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// The registry every stage records into.
     pub fn metrics(&self) -> &Telemetry {
         &self.tm
@@ -153,9 +182,16 @@ impl Pipeline {
     ///
     /// Returns the first stage failure.
     pub fn compile_sources(&self, srcs: &[&str]) -> Result<Module, Error> {
+        // Deadline checks sit at stage boundaries: each stage is
+        // bounded by the input size, so this is enough to keep compile
+        // requests from holding a serve worker past their deadline.
+        self.check_deadline()?;
         let prog = self.frontend(srcs)?;
+        self.check_deadline()?;
         let mut module = self.lower(&prog)?.module;
+        self.check_deadline()?;
         self.optimize(&mut module);
+        self.check_deadline()?;
         self.verify(&module)?;
         Ok(module)
     }
@@ -219,6 +255,9 @@ impl Pipeline {
             vm.enable_stats();
         }
         vm.set_limits(self.limits);
+        if let Some(d) = self.deadline {
+            vm.set_deadline(d);
+        }
         let result: Result<Option<Value>, VmError> = vm.run_entry(entry);
         vm.export_metrics(&self.tm);
         Ok(RunOutcome {

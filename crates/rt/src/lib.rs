@@ -40,6 +40,10 @@ pub enum Trap {
     /// Execution exceeded the configured step budget (guards tests
     /// against accidental infinite loops).
     OutOfFuel,
+    /// Execution ran past its wall-clock deadline. Like [`Trap::OutOfFuel`]
+    /// this is an engine-level abort, not a catchable guest exception —
+    /// a handler would itself run past the deadline.
+    DeadlineExceeded,
     /// An allocation exceeded the configured heap byte budget; the
     /// engines map this to `OutOfMemoryError`, so governed code can
     /// catch it like real Java.
@@ -60,6 +64,7 @@ impl std::fmt::Display for Trap {
             Trap::User(r) => write!(f, "user exception at {r:?}"),
             Trap::Internal(s) => write!(f, "internal: {s}"),
             Trap::OutOfFuel => write!(f, "out of fuel"),
+            Trap::DeadlineExceeded => write!(f, "deadline exceeded"),
             Trap::OutOfMemory => write!(f, "out of memory"),
             Trap::StackOverflow => write!(f, "stack overflow"),
         }

@@ -1,0 +1,46 @@
+//! # safetsa-server
+//!
+//! The fault-tolerant `safetsa serve` daemon: a long-running process
+//! that accepts newline-delimited JSON compile / verify / run requests
+//! over a TCP or Unix-domain socket and dispatches them to a worker
+//! pool built on [`safetsa_driver::Pipeline`].
+//!
+//! The paper's safety argument is *per module*: verification and the
+//! VM's resource limits bound what one program can do. This crate
+//! supplies the *process-level* complement for a multi-tenant consumer
+//! — the four properties a daemon needs that a batch CLI does not:
+//!
+//! * **Panic isolation** — every request runs inside `catch_unwind`;
+//!   a compiler or VM bug costs that request one `kind:"panic"` error
+//!   response, never the daemon.
+//! * **Admission control** — a bounded queue with non-blocking
+//!   admission: saturation is answered immediately with
+//!   `status:"overloaded"` instead of unbounded buffering.
+//! * **Deadlines** — every request carries a wall-clock deadline
+//!   (clamped per tenant), enforced at compile-stage boundaries and,
+//!   during execution, every [`safetsa_vm::DEADLINE_SLICE`]
+//!   instructions by the VM itself.
+//! * **Graceful degradation** — a corrupted or vanished compile cache
+//!   degrades to cache-off with a telemetry counter; shutdown drains
+//!   in-flight work before exiting.
+//!
+//! See `DESIGN.md` ("Serving & fault model") for the full design and
+//! [`protocol`] for the wire schema.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod stats;
+
+mod server;
+
+pub use client::Client;
+pub use protocol::{Op, Request, SCHEMA};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{
+    BindAddr, ServeSummary, Server, ServerConfig, ServerHandle, TenantProfile, MAX_FRAME_BYTES,
+};
+pub use stats::ServeStats;

@@ -1,0 +1,132 @@
+//! Cross-thread daemon statistics.
+//!
+//! The pipeline's [`Telemetry`](safetsa_telemetry::Telemetry) registry
+//! is `RefCell`-based and deliberately single-threaded, so the daemon
+//! keeps its own counters as relaxed atomics: every reader and worker
+//! thread bumps them lock-free, and the `stats` control op (or the
+//! final [`crate::ServeSummary`]) snapshots them. Relaxed ordering is
+//! fine — these are monotone counters, not synchronization.
+
+use safetsa_telemetry::{Histogram, Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Live counters for one daemon instance. All methods are `&self` and
+/// thread-safe.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Work requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Work requests fully processed (one response written).
+    pub completed: AtomicU64,
+    /// Completed with `status:"ok"`.
+    pub ok: AtomicU64,
+    /// Completed with `status:"error"` (request-level failures).
+    pub errors: AtomicU64,
+    /// Admission rejections while the queue was full.
+    pub shed: AtomicU64,
+    /// Admission rejections while draining for shutdown.
+    pub rejected_draining: AtomicU64,
+    /// Frames that failed to parse as requests (includes over-long
+    /// frames).
+    pub malformed: AtomicU64,
+    /// Worker panics caught at the request boundary.
+    pub panics_isolated: AtomicU64,
+    /// Requests that ran past their deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests that exhausted their fuel budget.
+    pub fuel_exhausted: AtomicU64,
+    /// Compile results served from the content-addressed cache.
+    pub cache_hits: AtomicU64,
+    /// Cache stores that failed and were degraded to cache-off.
+    pub cache_degraded: AtomicU64,
+    /// Inline control ops answered (ping/stats/shutdown).
+    pub control: AtomicU64,
+    /// End-to-end latency of completed work requests, admission → last
+    /// byte of the response, in nanoseconds.
+    pub latency_ns: Mutex<Histogram>,
+}
+
+impl ServeStats {
+    /// Increments a counter by one.
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed-request latency.
+    pub fn observe_latency(&self, ns: u64) {
+        self.latency_ns.lock().unwrap().observe(ns);
+    }
+
+    /// Snapshots every counter into a JSON object (the `stats` control
+    /// op's payload and the shutdown summary).
+    pub fn to_json(&self) -> Json {
+        let g = |c: &AtomicU64| Json::U64(c.load(Ordering::Relaxed));
+        let mut o = Json::obj();
+        o.set("connections", g(&self.connections));
+        o.set("accepted", g(&self.accepted));
+        o.set("completed", g(&self.completed));
+        o.set("ok", g(&self.ok));
+        o.set("errors", g(&self.errors));
+        o.set("shed", g(&self.shed));
+        o.set("rejected_draining", g(&self.rejected_draining));
+        o.set("malformed", g(&self.malformed));
+        o.set("panics_isolated", g(&self.panics_isolated));
+        o.set("deadline_exceeded", g(&self.deadline_exceeded));
+        o.set("fuel_exhausted", g(&self.fuel_exhausted));
+        o.set("cache_hits", g(&self.cache_hits));
+        o.set("cache_degraded", g(&self.cache_degraded));
+        o.set("control", g(&self.control));
+        let lat = self.latency_ns.lock().unwrap();
+        let mut l = Json::obj();
+        l.set("count", Json::U64(lat.count));
+        l.set("min_ns", Json::U64(lat.min));
+        l.set("max_ns", Json::U64(lat.max));
+        l.set("mean_ns", Json::F64(lat.mean()));
+        o.set("latency", l);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps_and_latency() {
+        let s = ServeStats::default();
+        s.bump(&s.accepted);
+        s.bump(&s.accepted);
+        s.bump(&s.shed);
+        s.observe_latency(1_000);
+        s.observe_latency(3_000);
+        let j = s.to_json();
+        assert_eq!(j.get("accepted").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("shed").and_then(Json::as_u64), Some(1));
+        let lat = j.get("latency").unwrap();
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(lat.get("max_ns").and_then(Json::as_u64), Some(3_000));
+    }
+
+    #[test]
+    fn stats_are_shareable_across_threads() {
+        let s = std::sync::Arc::new(ServeStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.bump(&s.completed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let j = s.to_json();
+        assert_eq!(j.get("completed").and_then(Json::as_u64), Some(4000));
+    }
+}

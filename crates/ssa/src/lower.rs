@@ -658,6 +658,20 @@ impl<'a> Lower<'a> {
 
         let mut loop_vec: Vec<Cst> = Vec::new();
         match shape {
+            LoopShape::While if is_const_true(cond.expect("while has a condition")) => {
+                // `while (true)`: sema admits a missing return after this
+                // loop because it can only exit through `break`, so no
+                // guard is lowered — a synthetic `If`/`Break` would make
+                // the exit edge reachable again and the verifier would
+                // (rightly) report control falling off the end.
+                let mut body_vec = Vec::new();
+                self.stmts(body, &mut body_vec)?;
+                if let Some(b) = self.branch_end(header) {
+                    let snap = (b, self.defs.clone());
+                    self.loops.last_mut().unwrap().back_edges.push(snap);
+                }
+                loop_vec.extend(body_vec);
+            }
             LoopShape::While => {
                 let cond = cond.expect("while has a condition");
                 let (cv, branch_block) = self.cond_value(cond, &mut loop_vec)?;
@@ -690,13 +704,14 @@ impl<'a> Lower<'a> {
             }
             LoopShape::For => {
                 let inner_join = self.f.add_block();
-                // Condition (optional — `for(;;)` loops forever).
+                // Condition (optional — `for(;;)` loops forever, and a
+                // constant-true guard is the same loop spelled longer).
                 let guard = match cond {
-                    Some(c) => {
+                    Some(c) if !is_const_true(c) => {
                         let (cv, bb) = self.cond_value(c, &mut loop_vec)?;
                         Some((cv, bb, self.defs.clone()))
                     }
-                    None => None,
+                    _ => None,
                 };
                 // Body inside the inner Labeled (continue target).
                 self.label_depth += 1;
@@ -801,22 +816,32 @@ impl<'a> Lower<'a> {
                     self.cur = Some(inner_join);
                     self.live = true;
                     let cond = cond.expect("do-while has a condition");
-                    let (cv, bb) = self.cond_value(cond, &mut loop_vec)?;
-                    let after_cond_defs = self.defs.clone();
-                    // then: continue (back edge); else: break.
-                    {
-                        let ctx = self.loops.last_mut().unwrap();
-                        ctx.back_edges.push((bb, after_cond_defs.clone()));
-                        ctx.breaks.push((bb, after_cond_defs));
+                    if is_const_true(cond) {
+                        // `do … while (true);` exits only through
+                        // `break` (sema's reachability rule): the back
+                        // edge is unconditional, no guarded exit.
+                        let snap = (inner_join, self.defs.clone());
+                        self.loops.last_mut().unwrap().back_edges.push(snap);
+                        loop_vec.push(Cst::Continue(0));
+                        self.kill();
+                    } else {
+                        let (cv, bb) = self.cond_value(cond, &mut loop_vec)?;
+                        let after_cond_defs = self.defs.clone();
+                        // then: continue (back edge); else: break.
+                        {
+                            let ctx = self.loops.last_mut().unwrap();
+                            ctx.back_edges.push((bb, after_cond_defs.clone()));
+                            ctx.breaks.push((bb, after_cond_defs));
+                        }
+                        let join = self.f.add_block();
+                        loop_vec.push(Cst::If {
+                            cond: cv,
+                            then_br: Box::new(Cst::Seq(vec![Cst::Continue(0)])),
+                            else_br: Box::new(Cst::Seq(vec![Cst::Break(0)])),
+                            join,
+                        });
+                        self.kill();
                     }
-                    let join = self.f.add_block();
-                    loop_vec.push(Cst::If {
-                        cond: cv,
-                        then_br: Box::new(Cst::Seq(vec![Cst::Continue(0)])),
-                        else_br: Box::new(Cst::Seq(vec![Cst::Break(0)])),
-                        join,
-                    });
-                    self.kill();
                 }
             }
         }
@@ -1593,6 +1618,13 @@ impl<'a> Lower<'a> {
             "refcmp operands on different planes ({ua} vs {ub})"
         ))
     }
+}
+
+/// Mirrors sema's reachability rule for endless loops: a loop whose
+/// condition is the literal `true` exits only through `break`, so the
+/// lowering must not synthesize a guarded exit for it.
+fn is_const_true(e: &Expr) -> bool {
+    matches!(e.kind, ExprKind::Lit(Lit::Bool(true)))
 }
 
 fn binop_name(op: BinOp) -> &'static str {

@@ -13,6 +13,7 @@ use safetsa_rt::{intrinsics, Heap, HeapRef, Output, Trap, Value};
 use safetsa_telemetry::Telemetry;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::time::Instant;
 
 /// A VM-level failure: loading problems, uncaught traps, or an
 /// exhausted non-catchable budget.
@@ -27,6 +28,10 @@ pub enum VmError {
     /// handler would itself need fuel), so it surfaces as its own
     /// variant rather than an exception object.
     FuelExhausted,
+    /// Execution ran past the wall-clock deadline set with
+    /// [`Vm::set_deadline`]. Like fuel exhaustion this is an engine
+    /// abort, never a catchable guest exception.
+    DeadlineExceeded,
     /// The VM detected an internal inconsistency — never expected for
     /// verified modules; reported instead of panicking so embedders
     /// stay in control.
@@ -39,6 +44,7 @@ impl fmt::Display for VmError {
             VmError::Load(s) => write!(f, "load error: {s}"),
             VmError::Uncaught(t) => write!(f, "uncaught exception: {t}"),
             VmError::FuelExhausted => write!(f, "fuel exhausted"),
+            VmError::DeadlineExceeded => write!(f, "deadline exceeded"),
             VmError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }
@@ -49,6 +55,7 @@ impl std::error::Error for VmError {}
 fn vm_err(t: Trap) -> VmError {
     match t {
         Trap::OutOfFuel => VmError::FuelExhausted,
+        Trap::DeadlineExceeded => VmError::DeadlineExceeded,
         Trap::Internal(s) => VmError::Internal(s),
         t => VmError::Uncaught(t),
     }
@@ -76,6 +83,12 @@ impl ResourceLimits {
         Self::default()
     }
 }
+
+/// Instructions executed between wall-clock deadline checks (the fuel
+/// slice). Small enough that a 50ms deadline is enforced within a few
+/// hundred microseconds of interpreter work, large enough that the
+/// clock read never shows in profiles.
+pub const DEADLINE_SLICE: u32 = 1024;
 
 /// Dynamic execution statistics, collected only after
 /// [`Vm::enable_stats`] — the interpreter's dispatch loop pays one
@@ -142,6 +155,15 @@ pub struct Vm<'m> {
     peak_depth: u32,
     /// Call-depth budget, if any.
     max_depth: Option<u32>,
+    /// Wall-clock deadline, checked every [`DEADLINE_SLICE`] executed
+    /// instructions (the "fuel slice"): the dispatch loop stays free of
+    /// clock reads except at slice boundaries, so an unset deadline
+    /// costs one predictable branch per instruction.
+    deadline: Option<Instant>,
+    /// Instructions remaining in the current deadline slice.
+    slice_left: u32,
+    /// Slice-boundary clock reads performed (resource-report quantity).
+    deadline_checks: u64,
     /// Whether the dispatch loop updates [`VmStats`].
     collect_stats: bool,
     /// Dynamic counters (empty until [`Vm::enable_stats`]).
@@ -269,6 +291,9 @@ impl<'m> Vm<'m> {
             depth: 0,
             peak_depth: 0,
             max_depth: None,
+            deadline: None,
+            slice_left: 0,
+            deadline_checks: 0,
             collect_stats: false,
             stats: VmStats::default(),
         };
@@ -310,6 +335,22 @@ impl<'m> Vm<'m> {
         self.fuel = fuel;
     }
 
+    /// Sets a wall-clock deadline. The dispatch loop checks the clock
+    /// once per [`DEADLINE_SLICE`] executed instructions; when the
+    /// deadline has passed, execution aborts with
+    /// [`VmError::DeadlineExceeded`] — uncatchable by governed code,
+    /// exactly like fuel exhaustion. Bounded staleness: the abort
+    /// happens at most one slice of instructions past the deadline.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+        self.slice_left = DEADLINE_SLICE;
+    }
+
+    /// Clears any wall-clock deadline.
+    pub fn clear_deadline(&mut self) {
+        self.deadline = None;
+    }
+
     /// Applies a full set of resource budgets (fuel, heap bytes, call
     /// depth). Unset budgets are unlimited.
     pub fn set_limits(&mut self, limits: ResourceLimits) {
@@ -348,6 +389,9 @@ impl<'m> Vm<'m> {
         tm.set("vm.steps", self.steps);
         tm.set("vm.fuel_remaining", self.fuel);
         tm.set("vm.peak_depth", u64::from(self.peak_depth));
+        if self.deadline.is_some() {
+            tm.set("vm.deadline.slice_checks", self.deadline_checks);
+        }
         tm.set("vm.heap.bytes_allocated", self.heap.bytes_allocated());
         tm.set("vm.heap.objects", self.heap.len() as u64);
         if self.collect_stats {
@@ -552,7 +596,7 @@ impl<'m> Vm<'m> {
             Trap::NegativeArraySize => self.exc.negative,
             Trap::OutOfMemory => self.exc.oom,
             Trap::StackOverflow => self.exc.stack_overflow,
-            t @ (Trap::Internal(_) | Trap::OutOfFuel) => return Err(t),
+            t @ (Trap::Internal(_) | Trap::OutOfFuel | Trap::DeadlineExceeded) => return Err(t),
         };
         Ok(self.alloc_trap_instance(class))
     }
@@ -606,6 +650,16 @@ impl<'m> Vm<'m> {
             }
             self.fuel -= 1;
             self.steps += 1;
+            if let Some(deadline) = self.deadline {
+                self.slice_left -= 1;
+                if self.slice_left == 0 {
+                    self.slice_left = DEADLINE_SLICE;
+                    self.deadline_checks += 1;
+                    if Instant::now() >= deadline {
+                        return Err(Trap::DeadlineExceeded);
+                    }
+                }
+            }
             if self.collect_stats {
                 *self.stats.opcodes.entry(instr.mnemonic()).or_insert(0) += 1;
                 match instr {

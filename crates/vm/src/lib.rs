@@ -30,4 +30,4 @@
 
 mod interp;
 
-pub use interp::{ResourceLimits, Vm, VmError, VmStats};
+pub use interp::{ResourceLimits, Vm, VmError, VmStats, DEADLINE_SLICE};

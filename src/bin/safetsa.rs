@@ -20,14 +20,34 @@
 //!     exit 1 iff any error-severity diagnostic was reported
 //! safetsa verify <file.tsa>             decode + verify a module; print
 //!     the VerifyStats on success, the structured error on failure
+//! safetsa serve [--tcp ADDR | --socket PATH]   long-running daemon
+//!     accepting newline-delimited JSON requests (schema
+//!     `safetsa-serve/1`); see README for the protocol
+//!     [--workers N] [--queue N]   worker pool size (0 = one per CPU)
+//!     and admission-queue capacity
+//!     [--fuel N] [--max-heap BYTES] [--max-depth N]
+//!     [--max-deadline-ms MS] [--max-source-bytes N]   the default
+//!     tenant's budgets (0 = unlimited where applicable)
+//!     [--tenant NAME:k=v,...]   add a named tenant profile
+//!     (keys: fuel, heap, depth, deadline_ms, source_bytes); repeatable
+//!     [--cache-dir PATH] [--chaos] [--no-remote-shutdown]
+//!     [--metrics-json PATH]   write the final stats snapshot on exit
 //! ```
+//!
+//! Exit codes: 0 success; 1 request-level failure (verify/decode/VM
+//! trap, resource exhaustion, isolated panic); 2 usage errors,
+//! unbuildable input, or I/O failures. Diagnostics are one line on
+//! stderr: `safetsa: error[<kind>]: <message>`.
 
 use safetsa::batch::{run_batch, BatchInput, BatchOptions};
 use safetsa::driver::passes_fingerprint;
+use safetsa::server::{BindAddr, Server, ServerConfig, TenantProfile};
 use safetsa::{Error, Pipeline};
 use safetsa_telemetry::{Json, Telemetry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,8 +58,9 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("analyze") => return cmd_analyze(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: safetsa <compile|run|dump|stats|analyze|verify> ...");
+            eprintln!("usage: safetsa <compile|run|dump|stats|analyze|verify|serve> ...");
             eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt] [--metrics-json PATH]");
             eprintln!("      [--jobs N] [--cache-dir PATH]");
             eprintln!("  run <file.tsa|file.java> --entry Class.method");
@@ -48,14 +69,26 @@ fn main() -> ExitCode {
             eprintln!("  stats <file.java>");
             eprintln!("  analyze <in.java>... [--json]");
             eprintln!("  verify <file.tsa>");
+            eprintln!("  serve [--tcp ADDR|--socket PATH] [--workers N] [--queue N]");
+            eprintln!("      [--tenant NAME:k=v,...] [--cache-dir PATH] [--chaos]");
+            eprintln!("      [--metrics-json PATH]");
             return ExitCode::from(2);
         }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        // Exit-code policy: request-level failures (the input was
+        // attempted; a different program or bigger budget would have
+        // worked) exit 1; usage errors, unbuildable input, and I/O
+        // failures exit 2. One structured line per failure so scripts
+        // can match on `error[kind]` instead of prose.
         Err(e) => {
-            eprintln!("safetsa: {e}");
-            ExitCode::FAILURE
+            eprintln!("safetsa: error[{}]: {e}", e.kind());
+            if e.is_request_level() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::from(2)
+            }
         }
     }
 }
@@ -97,6 +130,13 @@ fn positional(args: &[String]) -> Vec<&String> {
                     | "--metrics-json"
                     | "--jobs"
                     | "--cache-dir"
+                    | "--tcp"
+                    | "--socket"
+                    | "--workers"
+                    | "--queue"
+                    | "--max-deadline-ms"
+                    | "--max-source-bytes"
+                    | "--tenant"
             ) {
                 skip = true;
             }
@@ -478,6 +518,176 @@ fn cmd_verify(args: &[String]) -> Result<(), Error> {
         stats.phis,
         stats.operands
     );
+    Ok(())
+}
+
+/// SIGINT/SIGTERM handling without a libc dependency: a raw binding to
+/// the C `signal(2)` entry point installs a handler that flips one
+/// static flag — the only async-signal-safe thing a handler may do.
+/// The daemon's accept loop polls the flag and drains.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// Collects every value of a repeatable flag (`--tenant A:... --tenant
+/// B:...`).
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Parses a `NAME:key=value,...` tenant specification. Keys: `fuel`,
+/// `heap`, `depth`, `deadline_ms`, `source_bytes`; `0` means unlimited
+/// for the resource keys. Unspecified keys inherit the default tenant.
+fn parse_tenant(spec: &str, base: TenantProfile) -> Result<(String, TenantProfile), Error> {
+    let (name, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--tenant {spec}: expected NAME:key=value,..."))?;
+    if name.is_empty() {
+        return Err(format!("--tenant {spec}: empty tenant name").into());
+    }
+    let mut profile = base;
+    for pair in rest.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("--tenant {spec}: `{pair}` is not key=value"))?;
+        let n: u64 = value
+            .parse()
+            .map_err(|e| format!("--tenant {spec}: {key}: {e}"))?;
+        let opt = |n: u64| if n == 0 { None } else { Some(n) };
+        match key {
+            "fuel" => profile.fuel = opt(n),
+            "heap" => profile.max_heap_bytes = opt(n),
+            "depth" => {
+                profile.max_call_depth = match opt(n) {
+                    None => None,
+                    Some(n) => Some(
+                        u32::try_from(n)
+                            .map_err(|_| format!("--tenant {spec}: depth too large"))?,
+                    ),
+                }
+            }
+            "deadline_ms" => profile.max_deadline_ms = n,
+            "source_bytes" => {
+                profile.max_source_bytes =
+                    usize::try_from(n).map_err(|_| format!("--tenant {spec}: source_bytes too large"))?
+            }
+            other => return Err(format!("--tenant {spec}: unknown key `{other}`").into()),
+        }
+    }
+    Ok((name.to_string(), profile))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    let tcp = flag_value(args, "--tcp");
+    let socket = flag_value(args, "--socket");
+    let bind = match (tcp, socket) {
+        (Some(_), Some(_)) => {
+            return Err("--tcp and --socket are mutually exclusive".into());
+        }
+        #[cfg(unix)]
+        (None, Some(path)) => BindAddr::Unix(PathBuf::from(path)),
+        #[cfg(not(unix))]
+        (None, Some(_)) => {
+            return Err("--socket requires a Unix platform".into());
+        }
+        (tcp, None) => BindAddr::Tcp(tcp.unwrap_or("127.0.0.1:7433").to_string()),
+    };
+    let mut default_tenant = TenantProfile::default();
+    let opt = |n: u64| if n == 0 { None } else { Some(n) };
+    if let Some(fuel) = parse_flag(args, "--fuel")? {
+        default_tenant.fuel = opt(fuel);
+    }
+    if let Some(heap) = parse_flag(args, "--max-heap")? {
+        default_tenant.max_heap_bytes = opt(heap);
+    }
+    if let Some(depth) = parse_flag::<u32>(args, "--max-depth")? {
+        default_tenant.max_call_depth = if depth == 0 { None } else { Some(depth) };
+    }
+    if let Some(ms) = parse_flag(args, "--max-deadline-ms")? {
+        default_tenant.max_deadline_ms = ms;
+    }
+    if let Some(bytes) = parse_flag(args, "--max-source-bytes")? {
+        default_tenant.max_source_bytes = bytes;
+    }
+    let tenants = flag_values(args, "--tenant")
+        .into_iter()
+        .map(|spec| parse_tenant(spec, default_tenant))
+        .collect::<Result<Vec<_>, _>>()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let cfg = ServerConfig {
+        bind,
+        workers: parse_flag(args, "--workers")?.unwrap_or(0),
+        queue_capacity: parse_flag(args, "--queue")?.unwrap_or(64),
+        default_tenant,
+        tenants,
+        cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        chaos: args.iter().any(|a| a == "--chaos"),
+        allow_remote_shutdown: !args.iter().any(|a| a == "--no-remote-shutdown"),
+        shutdown: Arc::clone(&shutdown),
+    };
+    let metrics_path = flag_value(args, "--metrics-json");
+    let server = Server::bind(cfg)?;
+    println!("serve: listening on {}", server.local_addr());
+
+    #[cfg(unix)]
+    {
+        sig::install();
+        // Bridge the handler's static flag into the server's shutdown
+        // flag; the thread dies with the process after the drain.
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if sig::SHUTDOWN.load(Ordering::Relaxed) {
+                shutdown.store(true, Ordering::Relaxed);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        });
+    }
+
+    let summary = server.run();
+    let stats = &summary.stats;
+    let count = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+    eprintln!(
+        "serve: drained; {} completed ({} ok, {} errors), {} shed, {} panics isolated",
+        count("completed"),
+        count("ok"),
+        count("errors"),
+        count("shed"),
+        count("panics_isolated"),
+    );
+    if let Some(path) = metrics_path {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("safetsa-serve-metrics/1".into()));
+        doc.set("stats", summary.stats);
+        write_metrics(path, &doc)?;
+    }
     Ok(())
 }
 

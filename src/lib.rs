@@ -34,6 +34,7 @@ pub use safetsa_driver as driver;
 pub use safetsa_frontend as frontend;
 pub use safetsa_opt as opt;
 pub use safetsa_rt as rt;
+pub use safetsa_server as server;
 pub use safetsa_ssa as ssa;
 pub use safetsa_vm as vm;
 
