@@ -413,8 +413,7 @@ pub fn corpus_report(jobs: usize, cache_dir: Option<&Path>) -> (Vec<ProgramRepor
     opts.jobs = jobs;
     opts.cache_dir = cache_dir.map(Path::to_path_buf);
     opts.telemetry = true;
-    let report = run_batch(&inputs, &opts, |idx, _input| {
-        let tm = Telemetry::enabled();
+    let report = run_batch(&inputs, &opts, |idx, _input, tm| {
         let bytes = record_program(&entries[idx], &tm);
         Ok((bytes, tm))
     })

@@ -6,9 +6,11 @@
 //! ops, and `//!chaos:panic` sources that detonate inside a worker.
 //! It asserts the protocol's core invariant from the *client* side:
 //! every frame sent receives exactly one well-formed response, and the
-//! daemon stays live throughout. Latency percentiles are computed here
-//! from the raw per-request samples (the daemon's own histogram uses
-//! power-of-two buckets, far too coarse for a p99).
+//! daemon stays live throughout. Latency percentiles come from both
+//! sides: client-side from this loadgen's raw per-request samples, and
+//! daemon-side from the server's own retained-sample reservoir (the
+//! `stats` op's exact `p50_ns`/`p99_ns`), so the report exposes any
+//! disagreement between the two views.
 
 use crate::corpus;
 use safetsa_server::client::{request_obj, Client};
@@ -69,6 +71,11 @@ pub struct ServeLoadReport {
     pub p50_ns: u64,
     /// 99th-percentile latency, ns.
     pub p99_ns: u64,
+    /// The daemon's own exact median (admission → response) from its
+    /// retained-sample reservoir, when the `stats` op reported one.
+    pub daemon_p50_ns: Option<u64>,
+    /// The daemon's own exact 99th percentile.
+    pub daemon_p99_ns: Option<u64>,
     /// Invariant violations observed (empty on a healthy run).
     pub violations: Vec<String>,
 }
@@ -85,6 +92,12 @@ impl ServeLoadReport {
         o.set("panic_isolated", Json::U64(self.panic_isolated));
         o.set("p50_latency_ns", Json::U64(self.p50_ns));
         o.set("p99_latency_ns", Json::U64(self.p99_ns));
+        if let Some(ns) = self.daemon_p50_ns {
+            o.set("daemon_p50_latency_ns", Json::U64(ns));
+        }
+        if let Some(ns) = self.daemon_p99_ns {
+            o.set("daemon_p99_latency_ns", Json::U64(ns));
+        }
         o.set("violations", Json::U64(self.violations.len() as u64));
         o
     }
@@ -366,6 +379,17 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> ServeLoadReport {
     latencies.sort_unstable();
     report.p50_ns = percentile(&latencies, 0.50);
     report.p99_ns = percentile(&latencies, 0.99);
+
+    // The daemon's own exact percentiles, admission → response, over
+    // its retained-sample reservoir — covers every connection's
+    // traffic, measured without the client-side network share.
+    if let Ok(mut client) = Client::connect_tcp(&addr) {
+        if let Ok(resp) = client.request(&request_obj("stats", "loadgen-stats")) {
+            let lat = resp.get("payload").and_then(|p| p.get("latency"));
+            report.daemon_p50_ns = lat.and_then(|l| l.get("p50_ns")).and_then(Json::as_u64);
+            report.daemon_p99_ns = lat.and_then(|l| l.get("p99_ns")).and_then(Json::as_u64);
+        }
+    }
 
     if let Some((handle, join)) = spawned {
         handle.request_shutdown();

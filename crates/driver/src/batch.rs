@@ -18,7 +18,7 @@
 
 use crate::cache::Cache;
 use crate::Error;
-use safetsa_telemetry::Telemetry;
+use safetsa_telemetry::{AttrValue, Telemetry};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -58,6 +58,13 @@ pub struct BatchOptions {
     pub fingerprint: String,
     /// Whether per-task metrics are collected (and cached).
     pub telemetry: bool,
+    /// Whether per-task spans are collected: each task records on its
+    /// own trace lane (`index + 1`) against the batch's epoch, the
+    /// driver adds worker/batch spans on lane 0, and the merged
+    /// registry exports one causal tree (implies metrics collection —
+    /// the per-task registries are trace-enabled, which includes a
+    /// metrics map).
+    pub trace: bool,
 }
 
 impl BatchOptions {
@@ -68,6 +75,7 @@ impl BatchOptions {
             cache_dir: None,
             fingerprint: fingerprint.into(),
             telemetry: false,
+            trace: false,
         }
     }
 
@@ -144,15 +152,17 @@ struct TaskOut {
 /// Runs `work` over every input on a scoped worker pool, with
 /// content-addressed caching in front.
 ///
-/// `work(index, input)` compiles one input to its artifact bytes and
-/// returns them together with the metrics registry it recorded (a
-/// [`crate::Pipeline`] with its own telemetry, handed back via
-/// [`crate::Pipeline::into_metrics`], is the natural shape). The
-/// closure must be a pure function of the input and the options
-/// fingerprint — that purity is what makes the cache sound (see
-/// DESIGN.md) — and should enable its registry iff
-/// [`BatchOptions::telemetry`] is set, so cached and fresh tasks
-/// replay identically.
+/// `work(index, input, tm)` compiles one input to its artifact bytes
+/// and returns them together with `tm`, the per-task registry the
+/// driver constructed for it — recording enabled iff
+/// [`BatchOptions::telemetry`], spans iff [`BatchOptions::trace`] (a
+/// [`crate::Pipeline`] built with `.telemetry(tm)` and handed back via
+/// [`crate::Pipeline::into_metrics`] is the natural shape). The driver
+/// opens the task's root span and records the cache probe before `work`
+/// ever runs, so cache hits appear in the trace even though the closure
+/// is skipped. The closure must be a pure function of the input and
+/// the options fingerprint — that purity is what makes the cache sound
+/// (see DESIGN.md).
 ///
 /// # Errors
 ///
@@ -161,7 +171,7 @@ struct TaskOut {
 /// independent of scheduling), or the I/O error of a cache write.
 pub fn run_batch<F>(inputs: &[BatchInput], opts: &BatchOptions, work: F) -> Result<BatchReport, Error>
 where
-    F: Fn(usize, &BatchInput) -> Result<(Vec<u8>, Telemetry), Error> + Sync,
+    F: Fn(usize, &BatchInput, Telemetry) -> Result<(Vec<u8>, Telemetry), Error> + Sync,
 {
     let started = Instant::now();
     let cache = match &opts.cache_dir {
@@ -175,27 +185,56 @@ where
     let cache = &cache;
     let degraded = &degraded;
 
+    // Per-task registries: when tracing, each task gets its own lane
+    // (index + 1; lane 0 is the driver's) against the shared batch
+    // epoch — a scheduling-independent assignment, so the exported
+    // span tree is identical for `--jobs 1` and `--jobs 8`.
+    let task_tm = |idx: usize| {
+        if opts.trace {
+            Telemetry::with_trace_at(started, idx as u32 + 1)
+        } else if opts.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    };
+
     let run_task = |idx: usize, input: &BatchInput| -> Result<TaskOut, Error> {
         let task_started = Instant::now();
+        let mut tm = task_tm(idx);
+        let root = tm.span_open("task");
+        tm.span_attr("name", AttrValue::Str(input.name.clone()));
         let key = Cache::key(&opts.fingerprint, input.source.as_bytes());
         if let Some(cache) = cache {
-            if let Some((bytes, flat)) = cache.load(key) {
-                // A corrupt metrics payload degrades to a miss below.
-                if let Ok(metrics) = Telemetry::import_flat(&flat) {
-                    return Ok(TaskOut {
-                        bytes,
-                        metrics: if opts.telemetry {
-                            metrics
-                        } else {
-                            Telemetry::disabled()
-                        },
-                        cache_hit: true,
-                        task_wall_ns: elapsed_ns(task_started),
-                    });
-                }
+            let probe = tm.span_open("cache.probe");
+            let loaded = cache.load(key);
+            tm.span_close(probe);
+            // A corrupt metrics payload degrades to a miss below.
+            let replay = loaded.and_then(|(bytes, flat)| {
+                Telemetry::import_flat(&flat).ok().map(|m| (bytes, m))
+            });
+            if let Some((bytes, metrics)) = replay {
+                tm.event("cache.probe.done", &[("hit", AttrValue::Bool(true))]);
+                tm.span_close(root);
+                let metrics = if tm.is_enabled() {
+                    // Replay the cached counters into the task's own
+                    // registry so the trace and the metrics travel
+                    // together.
+                    tm.merge(&metrics);
+                    tm
+                } else {
+                    Telemetry::disabled()
+                };
+                return Ok(TaskOut {
+                    bytes,
+                    metrics,
+                    cache_hit: true,
+                    task_wall_ns: elapsed_ns(task_started),
+                });
             }
+            tm.event("cache.probe.done", &[("hit", AttrValue::Bool(false))]);
         }
-        let (bytes, tm) = work(idx, input)?;
+        let (bytes, tm) = work(idx, input, tm)?;
         if let Some(cache) = cache {
             // A failed store (vanished/readonly cache dir) degrades to
             // cache-off operation for this task: the artifact is still
@@ -205,6 +244,7 @@ where
                 degraded.fetch_add(1, Ordering::Relaxed);
             }
         }
+        tm.span_close(root);
         Ok(TaskOut {
             bytes,
             metrics: tm,
@@ -217,10 +257,12 @@ where
     // reassembled by index, so completion order never shows.
     let mut slots: Vec<Option<Result<TaskOut, Error>>> = Vec::new();
     slots.resize_with(inputs.len(), || None);
+    let mut worker_meta: Vec<(Instant, Instant, u64)> = Vec::with_capacity(jobs);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| {
+                    let worker_started = Instant::now();
                     let mut done: Vec<(usize, Result<TaskOut, Error>)> = Vec::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -235,7 +277,7 @@ where
                         .unwrap_or_else(|p| Err(Error::Panic(panic_message(p.as_ref()))));
                         done.push((idx, out));
                     }
-                    done
+                    (done, worker_started, Instant::now())
                 })
             })
             .collect();
@@ -244,7 +286,8 @@ where
             // a panic *between* tasks (allocator failure and the like);
             // its claimed-but-unreported tasks surface as `Panic` via
             // the still-empty slots below instead of poisoning the run.
-            if let Ok(done) = h.join() {
+            if let Ok((done, wstart, wend)) = h.join() {
+                worker_meta.push((wstart, wend, done.len() as u64));
                 for (idx, out) in done {
                     slots[idx] = Some(out);
                 }
@@ -253,7 +296,9 @@ where
     });
 
     let mut items = Vec::with_capacity(inputs.len());
-    let mut merged = if opts.telemetry {
+    let mut merged = if opts.trace {
+        Telemetry::with_trace_at(started, 0)
+    } else if opts.telemetry {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
@@ -274,6 +319,30 @@ where
             task_wall_ns: out.task_wall_ns,
         });
     }
+    // Driver-plane spans live on lane 0: worker lifetimes (which
+    // worker ran how many tasks — inherently scheduling-dependent, so
+    // they are kept off the deterministic task lanes) and the batch
+    // envelope itself.
+    for (widx, (wstart, wend, ntasks)) in worker_meta.iter().enumerate() {
+        merged.record_span(
+            "worker",
+            *wstart,
+            *wend,
+            &[
+                ("worker", AttrValue::U64(widx as u64)),
+                ("tasks", AttrValue::U64(*ntasks)),
+            ],
+        );
+    }
+    merged.record_span(
+        "batch",
+        started,
+        Instant::now(),
+        &[
+            ("jobs", AttrValue::U64(jobs as u64)),
+            ("tasks", AttrValue::U64(inputs.len() as u64)),
+        ],
+    );
     let wall_ns = elapsed_ns(started);
     merged.set("driver.jobs", jobs as u64);
     merged.set("driver.tasks", inputs.len() as u64);
@@ -311,10 +380,14 @@ mod tests {
     }
 
     /// The work closure: deterministic bytes per input, one counter.
-    fn work(_idx: usize, input: &BatchInput) -> Result<(Vec<u8>, Telemetry), Error> {
-        let tm = Telemetry::enabled();
+    fn work(
+        _idx: usize,
+        input: &BatchInput,
+        tm: Telemetry,
+    ) -> Result<(Vec<u8>, Telemetry), Error> {
         tm.add("work.calls", 1);
         tm.add("work.bytes", input.source.len() as u64);
+        tm.span("compile", || {});
         Ok((
             input.source.as_bytes().iter().rev().copied().collect(),
             tm,
@@ -345,11 +418,11 @@ mod tests {
         let ins = inputs(9);
         let mut opts = BatchOptions::new("t");
         opts.jobs = 4;
-        let failing = |idx: usize, input: &BatchInput| {
+        let failing = |idx: usize, input: &BatchInput, tm: Telemetry| {
             if idx % 3 == 2 {
                 return Err(Error::Usage(format!("task {idx} failed")));
             }
-            work(idx, input)
+            work(idx, input, tm)
         };
         let err = run_batch(&ins, &opts, failing).unwrap_err();
         assert_eq!(err.to_string(), "task 2 failed");
@@ -365,11 +438,11 @@ mod tests {
         let ins = inputs(8);
         let mut opts = BatchOptions::new("t");
         opts.jobs = 4;
-        let bomb = |idx: usize, input: &BatchInput| {
+        let bomb = |idx: usize, input: &BatchInput, tm: Telemetry| {
             if idx == 3 {
                 panic!("injected stage panic on task {idx}");
             }
-            work(idx, input)
+            work(idx, input, tm)
         };
         let err = run_batch(&ins, &opts, bomb).unwrap_err();
         assert!(matches!(err, Error::Panic(_)), "{err}");
@@ -378,11 +451,11 @@ mod tests {
         // Two bombs: the lowest-indexed one is reported, which requires
         // the other tasks (including the second bomb) to have run to
         // completion rather than tearing the pool down.
-        let two = |idx: usize, input: &BatchInput| {
+        let two = |idx: usize, input: &BatchInput, tm: Telemetry| {
             if idx == 2 || idx == 6 {
                 panic!("bomb {idx}");
             }
-            work(idx, input)
+            work(idx, input, tm)
         };
         let err = run_batch(&ins, &opts, two).unwrap_err();
         assert!(err.to_string().contains("bomb 2"), "{err}");
@@ -405,10 +478,10 @@ mod tests {
         // Sabotage: replace the cache directory with a plain file after
         // open() created it, so every store fails even after the
         // recreate-and-retry.
-        let sab = |idx: usize, input: &BatchInput| {
+        let sab = |idx: usize, input: &BatchInput, tm: Telemetry| {
             let _ = std::fs::remove_dir_all(&dir);
             let _ = std::fs::write(&dir, b"not a directory");
-            work(idx, input)
+            work(idx, input, tm)
         };
         let report = run_batch(&ins, &opts, sab).unwrap();
         assert_eq!(report.items.len(), 4);
@@ -440,6 +513,120 @@ mod tests {
         other.fingerprint = "t2".into();
         let cross = run_batch(&ins, &other, work).unwrap();
         assert_eq!(cross.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Renders the scheduling-independent part of a trace: every span
+    /// off lane 0 (worker/batch spans are inherently
+    /// scheduling-dependent and live on lane 0 by construction), with
+    /// the `_ns` fields dropped. Two runs of the same batch must agree
+    /// on this rendering exactly.
+    fn deterministic_tree(tm: &Telemetry) -> String {
+        let mut out = String::new();
+        for s in tm.trace_spans() {
+            if s.lane == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "span id={} parent={:?} name={} lane={} attrs={:?}\n",
+                s.id, s.parent, s.name, s.lane, s.attrs
+            ));
+        }
+        for e in tm.trace_events() {
+            if e.lane == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "event parent={:?} name={} lane={} attrs={:?}\n",
+                e.parent, e.name, e.lane, e.attrs
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn span_tree_is_identical_for_one_and_eight_jobs() {
+        let ins = inputs(9);
+        let mut serial = BatchOptions::new("t");
+        serial.telemetry = true;
+        serial.trace = true;
+        let mut par = serial.clone();
+        par.jobs = 8;
+        let a = run_batch(&ins, &serial, work).unwrap();
+        let b = run_batch(&ins, &par, work).unwrap();
+        let ta = deterministic_tree(&a.merged);
+        let tb = deterministic_tree(&b.merged);
+        assert!(!ta.is_empty());
+        assert_eq!(ta, tb, "span tree must not depend on scheduling");
+        // Each task contributed its root span on its own lane, with the
+        // work closure's span nested under it.
+        for (i, input) in ins.iter().enumerate() {
+            let lane = i as u32 + 1;
+            let spans: Vec<_> = a
+                .merged
+                .trace_spans()
+                .into_iter()
+                .filter(|s| s.lane == lane)
+                .collect();
+            let task = spans.iter().find(|s| s.name == "task").unwrap();
+            assert_eq!(
+                task.attrs,
+                vec![("name".to_string(), AttrValue::Str(input.name.clone()))]
+            );
+            let compile = spans.iter().find(|s| s.name == "compile").unwrap();
+            assert_eq!(compile.parent, Some(task.id));
+        }
+        // Lane 0 holds the driver plane: one batch span, >= 1 worker.
+        let lane0: Vec<_> = b
+            .merged
+            .trace_spans()
+            .into_iter()
+            .filter(|s| s.lane == 0)
+            .collect();
+        assert!(lane0.iter().any(|s| s.name == "batch"));
+        assert!(lane0.iter().any(|s| s.name == "worker"));
+    }
+
+    #[test]
+    fn cache_hits_still_appear_in_the_trace() {
+        let dir = std::env::temp_dir().join(format!(
+            "safetsa-batch-trace-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ins = inputs(3);
+        let mut opts = BatchOptions::new("t");
+        opts.telemetry = true;
+        opts.trace = true;
+        opts.cache_dir = Some(dir.clone());
+        let cold = run_batch(&ins, &opts, work).unwrap();
+        let warm = run_batch(&ins, &opts, work).unwrap();
+        assert_eq!(warm.cache_hits, 3);
+        // The warm run's trace still shows every task + its cache probe,
+        // and the replayed counters merged into the traced registries.
+        for report in [&cold, &warm] {
+            let spans = report.merged.trace_spans();
+            assert_eq!(spans.iter().filter(|s| s.name == "task").count(), 3);
+            assert_eq!(spans.iter().filter(|s| s.name == "cache.probe").count(), 3);
+        }
+        let hits = |r: &BatchReport, hit: bool| {
+            r.merged
+                .trace_events()
+                .iter()
+                .filter(|e| {
+                    e.name == "cache.probe.done"
+                        && e.attrs
+                            .contains(&("hit".to_string(), AttrValue::Bool(hit)))
+                })
+                .count()
+        };
+        assert_eq!(hits(&cold, false), 3);
+        assert_eq!(hits(&warm, true), 3);
+        assert_eq!(
+            warm.merged.counter("work.bytes"),
+            cold.merged.counter("work.bytes"),
+            "replayed counters must equal fresh ones"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,7 +17,7 @@ use safetsa_opt::{OptStats, Passes};
 use safetsa_rt::Value;
 use safetsa_ssa::Lowered;
 use safetsa_telemetry::Telemetry;
-use safetsa_vm::{ResourceLimits, Vm, VmError};
+use safetsa_vm::{ResourceLimits, Vm, VmError, VmProfile};
 
 /// A configured SafeTSA pipeline: one object that can take source text
 /// all the way to wire bytes and back to an executed result.
@@ -43,6 +43,7 @@ pub struct Pipeline {
     tm: Telemetry,
     limits: ResourceLimits,
     deadline: Option<std::time::Instant>,
+    profile_every: Option<u32>,
 }
 
 /// Producer-side optimization setting.
@@ -70,6 +71,10 @@ pub struct RunOutcome {
     pub result: Result<Option<Value>, Error>,
     /// Everything the program printed.
     pub output: String,
+    /// The VM's sampling profile, when [`Pipeline::profile_every`] was
+    /// configured — present even when execution trapped or ran past its
+    /// deadline (the at-kill-time sample is the point).
+    pub profile: Option<VmProfile>,
 }
 
 impl Pipeline {
@@ -117,6 +122,15 @@ impl Pipeline {
         self
     }
 
+    /// Turns on the VM sampling profiler for [`Pipeline::run`]: every
+    /// `every_slices` fuel slices the VM records the current function
+    /// and opcode window (see [`safetsa_vm::VmProfile`]), and the
+    /// resulting profile is returned in [`RunOutcome::profile`].
+    pub fn profile_every(mut self, every_slices: u32) -> Pipeline {
+        self.profile_every = Some(every_slices);
+        self
+    }
+
     /// The failure the compile-side stages report when the configured
     /// deadline has already passed — callers that run multi-stage work
     /// (the serve daemon's workers) call this between stages so compile
@@ -153,7 +167,9 @@ impl Pipeline {
     ///
     /// Returns [`Error::Compile`].
     pub fn frontend(&self, srcs: &[&str]) -> Result<Program, Error> {
-        Ok(safetsa_frontend::compile_sources(srcs, &self.tm)?)
+        Ok(self
+            .tm
+            .span("frontend", || safetsa_frontend::compile_sources(srcs, &self.tm))?)
     }
 
     /// SSA construction only (no optimization, no verification).
@@ -162,7 +178,9 @@ impl Pipeline {
     ///
     /// Returns [`Error::Lower`].
     pub fn lower(&self, prog: &Program) -> Result<Lowered, Error> {
-        Ok(safetsa_ssa::construct(prog, &self.tm)?)
+        Ok(self
+            .tm
+            .span("lower", || safetsa_ssa::construct(prog, &self.tm))?)
     }
 
     /// Compiles one source file to a verified (and, per the pipeline's
@@ -182,25 +200,29 @@ impl Pipeline {
     ///
     /// Returns the first stage failure.
     pub fn compile_sources(&self, srcs: &[&str]) -> Result<Module, Error> {
-        // Deadline checks sit at stage boundaries: each stage is
-        // bounded by the input size, so this is enough to keep compile
-        // requests from holding a serve worker past their deadline.
-        self.check_deadline()?;
-        let prog = self.frontend(srcs)?;
-        self.check_deadline()?;
-        let mut module = self.lower(&prog)?.module;
-        self.check_deadline()?;
-        self.optimize(&mut module);
-        self.check_deadline()?;
-        self.verify(&module)?;
-        Ok(module)
+        self.tm.span("compile", || {
+            // Deadline checks sit at stage boundaries: each stage is
+            // bounded by the input size, so this is enough to keep compile
+            // requests from holding a serve worker past their deadline.
+            self.check_deadline()?;
+            let prog = self.frontend(srcs)?;
+            self.check_deadline()?;
+            let mut module = self.lower(&prog)?.module;
+            self.check_deadline()?;
+            self.optimize(&mut module);
+            self.check_deadline()?;
+            self.verify(&module)?;
+            Ok(module)
+        })
     }
 
     /// Runs the configured optimization passes in place (a no-op under
     /// [`Pipeline::no_optimize`]).
     pub fn optimize(&self, m: &mut Module) -> OptStats {
         match self.passes {
-            PassConfig::Optimize(passes) => safetsa_opt::optimize(m, passes, &self.tm),
+            PassConfig::Optimize(passes) => self
+                .tm
+                .span("optimize", || safetsa_opt::optimize(m, passes, &self.tm)),
             PassConfig::Skip => OptStats::default(),
         }
     }
@@ -211,7 +233,9 @@ impl Pipeline {
     ///
     /// Returns [`Error::Verify`].
     pub fn verify(&self, m: &Module) -> Result<VerifyStats, Error> {
-        Ok(self.tm.time("verify.module_ns", || verify_module(m))?)
+        Ok(self.tm.span("verify", || {
+            self.tm.time("verify.module_ns", || verify_module(m))
+        })?)
     }
 
     /// Encodes a module to its wire form, recording the codec plane.
@@ -220,7 +244,7 @@ impl Pipeline {
     ///
     /// Returns [`Error::Encode`].
     pub fn encode(&self, m: &Module) -> Result<Vec<u8>, Error> {
-        Ok(safetsa_codec::encode(m, &self.tm)?)
+        Ok(self.tm.span("encode", || safetsa_codec::encode(m, &self.tm))?)
     }
 
     /// Decodes and verifies wire bytes against the standard host
@@ -232,11 +256,11 @@ impl Pipeline {
     pub fn decode(&self, bytes: &[u8]) -> Result<Module, Error> {
         self.tm.set("codec.total_bytes", bytes.len() as u64);
         let host = HostEnv::standard();
-        Ok(self
-            .tm
-            .time("codec.decode_ns", || {
+        Ok(self.tm.span("decode", || {
+            self.tm.time("codec.decode_ns", || {
                 safetsa_codec::decode_and_verify(bytes, &host)
-            })?)
+            })
+        })?)
     }
 
     /// Executes `entry` (`"Class.method"`) under the configured
@@ -250,7 +274,7 @@ impl Pipeline {
     /// execution failures land in [`RunOutcome::result`] so the
     /// program's output survives them.
     pub fn run(&self, m: &Module, entry: &str) -> Result<RunOutcome, Error> {
-        let mut vm = Vm::load(m).map_err(Error::Vm)?;
+        let mut vm = self.tm.span("vm.load", || Vm::load(m).map_err(Error::Vm))?;
         if self.tm.is_enabled() {
             vm.enable_stats();
         }
@@ -258,11 +282,17 @@ impl Pipeline {
         if let Some(d) = self.deadline {
             vm.set_deadline(d);
         }
-        let result: Result<Option<Value>, VmError> = vm.run_entry(entry);
+        if let Some(every) = self.profile_every {
+            vm.enable_profiler(every);
+        }
+        let result: Result<Option<Value>, VmError> =
+            self.tm.span("vm.run", || vm.run_entry(entry));
         vm.export_metrics(&self.tm);
+        let profile = self.profile_every.map(|_| vm.take_profile());
         Ok(RunOutcome {
             result: result.map_err(Error::Vm),
             output: vm.output.text().to_string(),
+            profile,
         })
     }
 }
@@ -306,6 +336,37 @@ mod tests {
         p.compile_source(SRC).unwrap();
         assert_eq!(p.metrics().counter("opt.instrs.after"), None);
         assert!(p.metrics().counter("ssa.instrs").is_some());
+    }
+
+    #[test]
+    fn stages_emit_a_nested_span_tree() {
+        let p = Pipeline::new()
+            .telemetry(Telemetry::with_trace())
+            .profile_every(1);
+        let module = p.compile_source(SRC).unwrap();
+        let bytes = p.encode(&module).unwrap();
+        let decoded = p.decode(&bytes).unwrap();
+        let outcome = p.run(&decoded, "A.main").unwrap();
+        assert_eq!(outcome.result.unwrap(), Some(Value::I(9)));
+        assert!(outcome.profile.is_some());
+        let spans = p.metrics().trace_spans();
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no span {name}"))
+        };
+        let compile = find("compile");
+        assert_eq!(compile.parent, None);
+        for stage in ["frontend", "lower", "optimize", "verify"] {
+            assert_eq!(find(stage).parent, Some(compile.id), "{stage}");
+        }
+        for stage in ["encode", "decode", "vm.load", "vm.run"] {
+            assert_eq!(find(stage).parent, None, "{stage}");
+        }
+        // The metrics document is unchanged by tracing: no span leaks
+        // into the counter plane.
+        assert!(p.metrics().counter("vm.steps").is_some());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod flight;
 pub mod json;
 pub mod protocol;
 pub mod queue;
@@ -38,9 +39,10 @@ pub mod stats;
 mod server;
 
 pub use client::Client;
+pub use flight::{FlightRecord, FlightRecorder};
 pub use protocol::{Op, Request, SCHEMA};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{
     BindAddr, ServeSummary, Server, ServerConfig, ServerHandle, TenantProfile, MAX_FRAME_BYTES,
 };
-pub use stats::ServeStats;
+pub use stats::{ServeStats, TenantCounters};

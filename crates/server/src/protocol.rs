@@ -43,6 +43,9 @@ pub enum Op {
     Ping,
     /// Server statistics snapshot; answered inline.
     Stats,
+    /// Flight-recorder query; answered inline. `query` selects a
+    /// request id (omitted = every retained record).
+    Trace,
     /// Ask the daemon to drain and exit.
     Shutdown,
     /// Anything else — rejected with `unsupported_op`, but the request
@@ -79,6 +82,9 @@ pub struct Request {
     /// Whether `compile` should echo the wire bytes back (hex). Off by
     /// default — responses stay small.
     pub want_bytes: bool,
+    /// Selector for the `trace` op: a request id to look up in the
+    /// flight recorder (`None` = dump everything retained).
+    pub query: Option<String>,
 }
 
 impl Request {
@@ -111,6 +117,7 @@ impl Request {
             "run" => Op::Run,
             "ping" => Op::Ping,
             "stats" => Op::Stats,
+            "trace" => Op::Trace,
             "shutdown" => Op::Shutdown,
             other => Op::Unknown(other.to_string()),
         };
@@ -135,6 +142,7 @@ impl Request {
             entry: str_field(&doc, "entry"),
             deadline_ms,
             want_bytes: matches!(doc.get("want_bytes"), Some(Json::Bool(true))),
+            query: str_field(&doc, "query"),
         })
     }
 }
@@ -252,6 +260,16 @@ mod tests {
         // Missing op.
         let err = Request::parse(r#"{"id":"y"}"#).unwrap_err();
         assert_eq!(err.0.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn trace_op_parses_with_optional_query() {
+        let req = Request::parse(r#"{"op":"trace","id":"t1","query":"r9"}"#).unwrap();
+        assert_eq!(req.op, Op::Trace);
+        assert_eq!(req.query.as_deref(), Some("r9"));
+        assert!(!req.op.is_work());
+        let req = Request::parse(r#"{"op":"trace","id":"t2"}"#).unwrap();
+        assert!(req.query.is_none());
     }
 
     #[test]

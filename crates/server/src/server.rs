@@ -33,13 +33,16 @@
 //! `kind:"shutting_down"` — and workers finish everything already
 //! admitted before [`Server::run`] returns its [`ServeSummary`].
 
+use crate::flight::{FlightRecord, FlightRecorder};
 use crate::protocol::{self, Op, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServeStats;
 use safetsa_driver::{passes_fingerprint, Cache, Error, Pipeline};
 use safetsa_opt::Passes;
-use safetsa_telemetry::{Json, Telemetry};
-use safetsa_vm::{ResourceLimits, VmError};
+use safetsa_telemetry::{AttrValue, Json, Telemetry};
+use safetsa_vm::{ResourceLimits, VmError, VmProfile};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -60,6 +63,10 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// Ceiling on `//!chaos:sleep=` injections so a typo in a chaos run
 /// cannot wedge a worker for minutes.
 const CHAOS_SLEEP_CAP_MS: u64 = 5_000;
+
+/// VM fuel slices between profiler samples for served `run` requests:
+/// one sample every `4 × DEADLINE_SLICE = 4096` executed instructions.
+const PROFILE_EVERY_SLICES: u32 = 4;
 
 /// Per-tenant admission and execution budgets.
 #[derive(Debug, Clone, Copy)]
@@ -154,6 +161,9 @@ impl Default for ServerConfig {
 pub struct ServeSummary {
     /// Final statistics snapshot (same shape as the `stats` op payload).
     pub stats: Json,
+    /// The flight recorder's retained requests as one Chrome
+    /// `trace_event` document (what `serve --trace-json` writes).
+    pub trace: Json,
 }
 
 enum Listener {
@@ -234,6 +244,10 @@ struct Shared {
     tenants: Vec<(String, TenantProfile)>,
     chaos: bool,
     allow_remote_shutdown: bool,
+    flight: FlightRecorder,
+    /// Per-tenant accumulated VM sampling profiles (`""` is stored as
+    /// `"default"`, matching the stats breakdown).
+    profiles: Mutex<BTreeMap<String, VmProfile>>,
 }
 
 impl Shared {
@@ -258,6 +272,31 @@ impl Shared {
         payload.set("draining", Json::Bool(self.should_stop()));
         payload
     }
+
+    /// The `trace` op payload: flight-recorder records matching
+    /// `query`, plus (for the full dump) the per-tenant merged VM
+    /// profiles.
+    fn trace_payload(&self, query: Option<&str>) -> Json {
+        let mut payload = self.flight.query(query);
+        if query.is_none() {
+            let mut o = Json::obj();
+            for (tenant, p) in self.profiles.lock().unwrap().iter() {
+                o.set(tenant, p.to_json());
+            }
+            payload.set("profiles", o);
+        }
+        payload
+    }
+
+    fn merge_profile(&self, tenant: &str, profile: &VmProfile) {
+        let key = if tenant.is_empty() { "default" } else { tenant };
+        self.profiles
+            .lock()
+            .unwrap()
+            .entry(key.to_string())
+            .or_default()
+            .merge(profile);
+    }
 }
 
 /// A control handle onto a running (or about-to-run) server, usable
@@ -277,6 +316,12 @@ impl ServerHandle {
     /// Snapshot of the daemon's statistics (the `stats` op payload).
     pub fn stats(&self) -> Json {
         self.shared.stats_payload()
+    }
+
+    /// Snapshot of the flight recorder and per-tenant profiles (the
+    /// `trace` op payload with no query).
+    pub fn trace(&self) -> Json {
+        self.shared.trace_payload(None)
     }
 }
 
@@ -327,6 +372,8 @@ impl Server {
             tenants: cfg.tenants,
             chaos: cfg.chaos,
             allow_remote_shutdown: cfg.allow_remote_shutdown,
+            flight: FlightRecorder::default(),
+            profiles: Mutex::new(BTreeMap::new()),
         });
         Ok(Server {
             listener,
@@ -415,6 +462,7 @@ impl Server {
         }
         ServeSummary {
             stats: shared.stats_payload(),
+            trace: shared.flight.to_chrome_trace(),
         }
     }
 }
@@ -543,6 +591,13 @@ fn reader_loop(conn: Conn, shared: &Arc<Shared>) {
                     &protocol::ok_response(&req.id, shared.stats_payload()),
                 );
             }
+            Op::Trace => {
+                shared.stats.bump(&shared.stats.control);
+                write_response(
+                    &out,
+                    &protocol::ok_response(&req.id, shared.trace_payload(req.query.as_deref())),
+                );
+            }
             Op::Shutdown => {
                 shared.stats.bump(&shared.stats.control);
                 if shared.allow_remote_shutdown {
@@ -580,10 +635,13 @@ fn reader_loop(conn: Conn, shared: &Arc<Shared>) {
 /// Admission control: validate, stamp the deadline, try the queue.
 fn admit(req: Request, out: &Responder, shared: &Arc<Shared>) {
     let profile = shared.profile(&req.tenant);
+    shared.stats.tenant(&req.tenant, |t| t.requests += 1);
     let payload_len = req.source.as_deref().map_or(0, str::len)
         + req.tsa.as_deref().map_or(0, str::len);
     if payload_len > profile.max_source_bytes {
         shared.stats.bump(&shared.stats.errors);
+        shared.stats.bump_kind("too_large");
+        shared.stats.tenant(&req.tenant, |t| t.errors += 1);
         write_response(
             out,
             &protocol::error_response(
@@ -613,6 +671,7 @@ fn admit(req: Request, out: &Responder, shared: &Arc<Shared>) {
         Ok(()) => shared.stats.bump(&shared.stats.accepted),
         Err((job, PushError::Full)) => {
             shared.stats.bump(&shared.stats.shed);
+            shared.stats.tenant(&job.req.tenant, |t| t.shed += 1);
             write_response(
                 out,
                 &protocol::overloaded_response(
@@ -624,6 +683,7 @@ fn admit(req: Request, out: &Responder, shared: &Arc<Shared>) {
         }
         Err((job, PushError::Closed)) => {
             shared.stats.bump(&shared.stats.rejected_draining);
+            shared.stats.tenant(&job.req.tenant, |t| t.shed += 1);
             write_response(
                 out,
                 &protocol::overloaded_response(
@@ -648,6 +708,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        // Outer isolation for bugs in the recorder/bookkeeping itself;
+        // the request's own panics unwind inside `handle_job`'s inner
+        // boundary, which additionally preserves the span tree.
         let response =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_job(&job, shared)))
                 .unwrap_or_else(|p| {
@@ -658,11 +721,29 @@ fn worker_loop(shared: &Arc<Shared>) {
                         &format!("worker panicked: {}", panic_message(p.as_ref())),
                     )
                 });
-        if response.get("status") == Some(&Json::Str("ok".into())) {
+        let ok = response.get("status") == Some(&Json::Str("ok".into()));
+        let kind = match response.get("kind") {
+            Some(Json::Str(k)) => Some(k.clone()),
+            _ => None,
+        };
+        if ok {
             shared.stats.bump(&shared.stats.ok);
         } else {
             shared.stats.bump(&shared.stats.errors);
+            if let Some(k) = &kind {
+                shared.stats.bump_kind(k);
+            }
         }
+        shared.stats.tenant(&job.req.tenant, |t| {
+            if ok {
+                t.ok += 1;
+            } else {
+                t.errors += 1;
+                if kind.as_deref() == Some("panic") {
+                    t.panics += 1;
+                }
+            }
+        });
         write_response(&job.out, &response);
         shared.stats.bump(&shared.stats.completed);
         let elapsed = job.admitted.elapsed();
@@ -679,9 +760,129 @@ fn chaos_sleep_ms(src: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// Executes one admitted job. Runs inside the worker's `catch_unwind`,
-/// so a panic anywhere below lands as a `kind:"panic"` response.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Compile => "compile",
+        Op::Verify => "verify",
+        Op::Run => "run",
+        Op::Ping => "ping",
+        Op::Stats => "stats",
+        Op::Trace => "trace",
+        Op::Shutdown => "shutdown",
+        Op::Unknown(_) => "unknown",
+    }
+}
+
+fn ns_since(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+/// Executes one admitted job with full tracing.
+///
+/// The request's [`Pipeline`] — and with it the traced [`Telemetry`]
+/// registry — is built *outside* the panic boundary, so when the op
+/// unwinds the span tree survives: still-open spans are snapshotted
+/// with an `unfinished:true` attribute, the record is dumped to stderr,
+/// and the flight recorder retains it. The trace epoch is the
+/// admission instant, so the synthetic `queued` span and the execution
+/// spans share one timeline.
 fn handle_job(job: &Job, shared: &Arc<Shared>) -> Json {
+    let req = &job.req;
+    let picked_up = Instant::now();
+    let queued_ns = ns_since(job.admitted, picked_up);
+    let tm = Telemetry::with_trace_at(job.admitted, 0);
+    let root = tm.span_open("request");
+    tm.span_attr("id", AttrValue::Str(req.id.clone()));
+    tm.span_attr("tenant", AttrValue::Str(req.tenant.clone()));
+    tm.span_attr("op", AttrValue::Str(op_name(&req.op).into()));
+    tm.record_span("queued", job.admitted, picked_up, &[]);
+    let pipeline = Pipeline::new()
+        .telemetry(tm)
+        .limits(job.profile.limits())
+        .deadline(job.deadline)
+        .profile_every(PROFILE_EVERY_SLICES);
+    let profile_slot: RefCell<Option<VmProfile>> = RefCell::new(None);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_op(job, shared, &pipeline, &profile_slot)
+    }));
+    let panicked = caught.is_err();
+    let response = match caught {
+        Ok(Ok(payload)) => {
+            pipeline.metrics().span_close(root);
+            protocol::ok_response(&req.id, payload)
+        }
+        Ok(Err(e)) => {
+            match &e {
+                Error::Vm(VmError::DeadlineExceeded) => {
+                    shared.stats.bump(&shared.stats.deadline_exceeded);
+                }
+                Error::Vm(VmError::FuelExhausted) => {
+                    shared.stats.bump(&shared.stats.fuel_exhausted);
+                }
+                _ => {}
+            }
+            let tm = pipeline.metrics();
+            tm.span_attr("error", AttrValue::Str(e.kind().into()));
+            tm.span_close(root);
+            protocol::error_response(Some(&req.id), e.kind(), &e.to_string())
+        }
+        Err(p) => {
+            shared.stats.bump(&shared.stats.panics_isolated);
+            // Deliberately do NOT close the span stack: the snapshot
+            // below marks everything in flight `unfinished`, which is
+            // the at-panic-time view the flight recorder wants.
+            protocol::error_response(
+                Some(&req.id),
+                "panic",
+                &format!("worker panicked: {}", panic_message(p.as_ref())),
+            )
+        }
+    };
+    let profile = profile_slot.into_inner().filter(|p| !p.is_empty());
+    if let Some(p) = &profile {
+        shared.merge_profile(&req.tenant, p);
+    }
+    let tm = pipeline.metrics();
+    let status = if response.get("status") == Some(&Json::Str("ok".into())) {
+        "ok"
+    } else {
+        "error"
+    };
+    let kind = match response.get("kind") {
+        Some(Json::Str(k)) => Some(k.clone()),
+        _ => None,
+    };
+    let rec = FlightRecord {
+        seq: 0,
+        id: req.id.clone(),
+        tenant: req.tenant.clone(),
+        op: op_name(&req.op).into(),
+        status: status.into(),
+        kind,
+        queued_ns,
+        total_ns: ns_since(job.admitted, Instant::now()),
+        spans: tm.trace_spans(),
+        events: tm.trace_events(),
+        profile: profile.as_ref().map(VmProfile::to_json),
+    };
+    if panicked {
+        eprintln!("serve: flight[panic] {}", rec.to_json().render());
+    }
+    shared.flight.record(rec);
+    response
+}
+
+/// The panic-prone part of one job: chaos injection, the queue-wait
+/// deadline check, and the op dispatch. Runs inside `handle_job`'s
+/// `catch_unwind`.
+fn run_op(
+    job: &Job,
+    shared: &Arc<Shared>,
+    pipeline: &Pipeline,
+    profile_slot: &RefCell<Option<VmProfile>>,
+) -> Result<Json, Error> {
     let req = &job.req;
     if shared.chaos {
         if let Some(src) = &req.source {
@@ -695,33 +896,13 @@ fn handle_job(job: &Job, shared: &Arc<Shared>) -> Json {
     }
     // Queue wait may already have consumed the whole budget.
     if Instant::now() >= job.deadline {
-        shared.stats.bump(&shared.stats.deadline_exceeded);
-        return protocol::error_response(
-            Some(&req.id),
-            "deadline_exceeded",
-            "deadline expired before execution started",
-        );
+        return Err(Error::Vm(VmError::DeadlineExceeded));
     }
-    let result = match req.op {
-        Op::Compile => op_compile(job, shared),
-        Op::Verify => op_verify(job),
-        Op::Run => op_run(job),
+    match req.op {
+        Op::Compile => op_compile(job, shared, pipeline),
+        Op::Verify => op_verify(job, pipeline),
+        Op::Run => op_run(job, pipeline, profile_slot),
         _ => Err(Error::Usage("non-work op dispatched to worker".into())),
-    };
-    match result {
-        Ok(payload) => protocol::ok_response(&req.id, payload),
-        Err(e) => {
-            match &e {
-                Error::Vm(VmError::DeadlineExceeded) => {
-                    shared.stats.bump(&shared.stats.deadline_exceeded);
-                }
-                Error::Vm(VmError::FuelExhausted) => {
-                    shared.stats.bump(&shared.stats.fuel_exhausted);
-                }
-                _ => {}
-            }
-            protocol::error_response(Some(&req.id), e.kind(), &e.to_string())
-        }
     }
 }
 
@@ -731,25 +912,30 @@ fn require<'a>(field: &'a Option<String>, what: &str) -> Result<&'a str, Error> 
         .ok_or_else(|| Error::Usage(format!("request requires `{what}`")))
 }
 
-fn op_compile(job: &Job, shared: &Arc<Shared>) -> Result<Json, Error> {
+fn op_compile(job: &Job, shared: &Arc<Shared>, pipeline: &Pipeline) -> Result<Json, Error> {
     let req = &job.req;
     let src = require(&req.source, "source")?;
+    let tm = pipeline.metrics();
     let key = Cache::key(&shared.fingerprint, src.as_bytes());
+    let probe = tm.span_open("cache.probe");
+    let hit = shared.cache.as_ref().and_then(|c| c.load(key));
+    tm.event(
+        "cache.probe.done",
+        &[("hit", AttrValue::Bool(hit.is_some()))],
+    );
+    tm.span_close(probe);
     let mut cached = false;
-    let bytes = match shared.cache.as_ref().and_then(|c| c.load(key)) {
+    let bytes = match hit {
         Some((bytes, _metrics)) => {
             shared.stats.bump(&shared.stats.cache_hits);
             cached = true;
             bytes
         }
         None => {
-            let pipeline = Pipeline::new()
-                .telemetry(Telemetry::enabled())
-                .deadline(job.deadline);
             let module = pipeline.compile_source(src)?;
             let bytes = pipeline.encode(&module)?;
             if let Some(cache) = &shared.cache {
-                if !cache.store_degrading(key, &bytes, &pipeline.metrics().export_flat()) {
+                if !cache.store_degrading(key, &bytes, &tm.export_flat()) {
                     shared.stats.bump(&shared.stats.cache_degraded);
                 }
             }
@@ -766,12 +952,11 @@ fn op_compile(job: &Job, shared: &Arc<Shared>) -> Result<Json, Error> {
     Ok(payload)
 }
 
-fn op_verify(job: &Job) -> Result<Json, Error> {
+fn op_verify(job: &Job, pipeline: &Pipeline) -> Result<Json, Error> {
     let req = &job.req;
     let hex = require(&req.tsa, "tsa")?;
     let bytes = protocol::from_hex(hex)
         .map_err(|e| Error::Usage(format!("bad `tsa` hex: {e}")))?;
-    let pipeline = Pipeline::new().deadline(job.deadline);
     pipeline.check_deadline()?;
     // Decode *is* verification: the codec refuses to materialize a
     // module that fails the consumer-side checks.
@@ -783,13 +968,13 @@ fn op_verify(job: &Job) -> Result<Json, Error> {
     Ok(payload)
 }
 
-fn op_run(job: &Job) -> Result<Json, Error> {
+fn op_run(
+    job: &Job,
+    pipeline: &Pipeline,
+    profile_slot: &RefCell<Option<VmProfile>>,
+) -> Result<Json, Error> {
     let req = &job.req;
     let entry = require(&req.entry, "entry")?;
-    let pipeline = Pipeline::new()
-        .telemetry(Telemetry::enabled())
-        .limits(job.profile.limits())
-        .deadline(job.deadline);
     let module = if let Some(src) = &req.source {
         pipeline.compile_source(src)?
     } else if let Some(hex) = &req.tsa {
@@ -802,6 +987,10 @@ fn op_run(job: &Job) -> Result<Json, Error> {
         ));
     };
     let outcome = pipeline.run(&module, entry)?;
+    // Park the sample profile before the result check: a deadline kill
+    // or trap still carries its at-kill-time samples out to the flight
+    // recorder.
+    *profile_slot.borrow_mut() = outcome.profile;
     let value = outcome.result?;
     let mut payload = Json::obj();
     payload.set(
@@ -817,6 +1006,11 @@ fn op_run(job: &Job) -> Result<Json, Error> {
     }
     if let Some(checks) = pipeline.metrics().counter("vm.deadline.slice_checks") {
         payload.set("deadline_checks", Json::U64(checks));
+    }
+    if let Some(p) = profile_slot.borrow().as_ref() {
+        if !p.is_empty() {
+            payload.set("profile", p.to_json());
+        }
     }
     Ok(payload)
 }

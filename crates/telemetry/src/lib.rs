@@ -43,13 +43,16 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod trace;
 
 pub use json::Json;
+pub use trace::{AttrValue, EventRecord, SpanRecord, TRACE_SCHEMA};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
+use trace::TraceBuf;
 
 /// Schema identifier stamped into every metrics document. Bump the
 /// suffix when a key is renamed or removed; adding keys is
@@ -168,6 +171,11 @@ struct Registry {
 #[derive(Debug, Default)]
 pub struct Telemetry {
     inner: Option<RefCell<Registry>>,
+    /// Trace buffer, populated only by the `with_trace*` constructors.
+    /// Kept strictly separate from the metrics map: span/event calls
+    /// never create counters, so a metrics-only registry exports the
+    /// same document whether or not tracing code paths ran.
+    tracing: Option<RefCell<TraceBuf>>,
 }
 
 impl Telemetry {
@@ -175,18 +183,44 @@ impl Telemetry {
     pub fn enabled() -> Telemetry {
         Telemetry {
             inner: Some(RefCell::new(Registry::default())),
+            tracing: None,
         }
     }
 
     /// A no-op registry: every recording call returns immediately.
     pub fn disabled() -> Telemetry {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            tracing: None,
+        }
+    }
+
+    /// A recording registry that also collects spans and events, with
+    /// the trace epoch at construction time and lane 0.
+    pub fn with_trace() -> Telemetry {
+        Telemetry::with_trace_at(Instant::now(), 0)
+    }
+
+    /// A recording registry collecting spans relative to an explicit
+    /// `epoch` on the given `lane` — how batch tasks share one time
+    /// axis: every per-task registry is built against the batch epoch,
+    /// on lane `task index + 1`, so merged traces line up.
+    pub fn with_trace_at(epoch: Instant, lane: u32) -> Telemetry {
+        Telemetry {
+            inner: Some(RefCell::new(Registry::default())),
+            tracing: Some(RefCell::new(TraceBuf::new(epoch, lane))),
+        }
     }
 
     /// Whether this handle records anything. Hot loops may check once
     /// and skip their own bookkeeping entirely.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether this handle collects spans and events.
+    pub fn is_tracing(&self) -> bool {
+        self.tracing.is_some()
     }
 
     /// Adds `delta` to the counter `name` (creating it at zero).
@@ -285,6 +319,7 @@ impl Telemetry {
     /// a histogram) the existing metric is kept and the merge of that
     /// key is dropped, mirroring the recording methods' behavior.
     pub fn merge(&mut self, other: &Telemetry) {
+        self.merge_trace(other);
         let (Some(inner), Some(oinner)) = (&self.inner, &other.inner) else {
             return;
         };
@@ -430,6 +465,108 @@ impl Telemetry {
             }
         }
         parts.join(" ")
+    }
+
+    // ----- spans & events (no-ops unless built `with_trace*`) -----
+
+    /// Runs `f` inside a span named `name`: the span opens before and
+    /// closes after, and any span opened within `f` nests under it. If
+    /// `f` panics the span stays open — deliberately: the unfinished
+    /// span is exactly what a post-panic snapshot should show.
+    pub fn span<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let Some(buf) = &self.tracing else { return f() };
+        let id = buf.borrow_mut().open(name);
+        let out = f();
+        buf.borrow_mut().close(id);
+        out
+    }
+
+    /// Opens a span and returns its id (0 when tracing is off) for the
+    /// non-lexical cases; close with [`Telemetry::span_close`].
+    pub fn span_open(&self, name: &str) -> u64 {
+        match &self.tracing {
+            Some(buf) => buf.borrow_mut().open(name),
+            None => 0,
+        }
+    }
+
+    /// Closes the span returned by [`Telemetry::span_open`], along with
+    /// any spans still open inside it. Unknown ids (including 0) are
+    /// ignored.
+    pub fn span_close(&self, id: u64) {
+        if let Some(buf) = &self.tracing {
+            buf.borrow_mut().close(id);
+        }
+    }
+
+    /// Attaches a typed attribute to the innermost open span.
+    pub fn span_attr(&self, key: &str, value: AttrValue) {
+        if let Some(buf) = &self.tracing {
+            buf.borrow_mut().attr(key, value);
+        }
+    }
+
+    /// Records an already-measured interval as a completed span under
+    /// the innermost open span — for durations observed from outside
+    /// (queue wait measured between admission and dispatch, worker
+    /// lifetimes reassembled after a join).
+    pub fn record_span(
+        &self,
+        name: &str,
+        start: Instant,
+        end: Instant,
+        attrs: &[(&str, AttrValue)],
+    ) {
+        if let Some(buf) = &self.tracing {
+            buf.borrow_mut().record_complete(name, start, end, attrs);
+        }
+    }
+
+    /// Records an instant event attached to the innermost open span.
+    pub fn event(&self, name: &str, attrs: &[(&str, AttrValue)]) {
+        if let Some(buf) = &self.tracing {
+            buf.borrow_mut().event(name, attrs);
+        }
+    }
+
+    /// All spans recorded so far; still-open spans are synthesized with
+    /// `end = now` and an `unfinished: true` attribute.
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        match &self.tracing {
+            Some(buf) => buf.borrow().snapshot_spans(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All instant events recorded so far.
+    pub fn trace_events(&self) -> Vec<EventRecord> {
+        match &self.tracing {
+            Some(buf) => buf.borrow().snapshot_events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The flat `safetsa-trace/1` listing of this registry's spans and
+    /// events (see [`trace::trace_to_json`]).
+    pub fn trace_to_json(&self) -> Json {
+        trace::trace_to_json(&self.trace_spans(), &self.trace_events())
+    }
+
+    /// This registry's trace as Chrome `trace_event` JSON (see
+    /// [`trace::chrome_trace_json`]).
+    pub fn to_chrome_trace(&self) -> Json {
+        trace::chrome_trace_json(&self.trace_spans(), &self.trace_events())
+    }
+
+    /// Merges another registry's *completed* trace records into this
+    /// one (span ids remapped past ours, timestamps shifted onto our
+    /// epoch; `other`'s still-open spans are skipped — they belong to
+    /// work that has not finished there). A no-op unless both sides
+    /// are tracing; [`Telemetry::merge`] calls this first.
+    pub fn merge_trace(&mut self, other: &Telemetry) {
+        if let (Some(buf), Some(obuf)) = (&self.tracing, &other.tracing) {
+            buf.borrow_mut().merge(&obuf.borrow());
+        }
     }
 }
 
@@ -601,5 +738,125 @@ mod tests {
         tm.add_time_ns("t.ns", 5);
         let doc = tm.to_json();
         assert!(doc.get("t").unwrap().get("ns").unwrap().as_u64().unwrap() >= 5);
+    }
+
+    #[test]
+    fn spans_nest_lexically() {
+        let tm = Telemetry::with_trace();
+        tm.span("outer", || {
+            tm.span_attr("k", AttrValue::U64(7));
+            tm.span("inner", || {});
+            tm.event("tick", &[("hit", AttrValue::Bool(true))]);
+        });
+        let spans = tm.trace_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closed first, so it is recorded first.
+        let inner = &spans[0];
+        let outer = &spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.attrs, vec![("k".to_string(), AttrValue::U64(7))]);
+        let events = tm.trace_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].parent, Some(outer.id));
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn open_spans_snapshot_as_unfinished() {
+        let tm = Telemetry::with_trace();
+        let root = tm.span_open("request");
+        tm.span_open("vm.run");
+        let spans = tm.trace_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans
+            .iter()
+            .all(|s| s.attrs.contains(&("unfinished".into(), AttrValue::Bool(true)))));
+        assert_eq!(spans[1].parent, Some(root));
+        // Closing the root closes the orphan child too.
+        tm.span_close(root);
+        let spans = tm.trace_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| !s
+            .attrs
+            .contains(&("unfinished".into(), AttrValue::Bool(true)))));
+    }
+
+    #[test]
+    fn tracing_adds_zero_counters() {
+        // The overhead contract: span/event recording must never touch
+        // the metrics map, and a non-tracing registry must stay
+        // span-free no matter which tracing calls run against it.
+        let tm = Telemetry::with_trace();
+        tm.span("stage", || {});
+        tm.event("probe", &[]);
+        assert_eq!(tm.to_json().render(), "{}");
+        assert_eq!(tm.export_flat(), "");
+        let plain = Telemetry::enabled();
+        plain.span("stage", || {});
+        assert_eq!(plain.span_open("x"), 0);
+        plain.event("probe", &[]);
+        assert!(plain.trace_spans().is_empty());
+        assert!(!plain.is_tracing());
+        let off = Telemetry::disabled();
+        off.span("stage", || {});
+        assert!(off.trace_spans().is_empty());
+    }
+
+    #[test]
+    fn trace_merge_remaps_ids_onto_one_epoch() {
+        let epoch = Instant::now();
+        let mut base = Telemetry::with_trace_at(epoch, 0);
+        base.span("batch-setup", || {});
+        let task = Telemetry::with_trace_at(epoch, 3);
+        task.span("task", || {
+            task.span("frontend", || {});
+        });
+        base.merge(&task);
+        let spans = base.trace_spans();
+        assert_eq!(spans.len(), 3);
+        let ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "merged ids must stay unique: {ids:?}");
+        let frontend = spans.iter().find(|s| s.name == "frontend").unwrap();
+        let task_span = spans.iter().find(|s| s.name == "task").unwrap();
+        assert_eq!(frontend.parent, Some(task_span.id));
+        assert_eq!(task_span.lane, 3);
+        // Fresh ids after a merge do not collide with merged ones.
+        base.span("post", || {});
+        let spans = base.trace_spans();
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let tm = Telemetry::with_trace();
+        tm.span("compile", || tm.event("cache.probe", &[]));
+        let doc = tm.to_chrome_trace();
+        assert_eq!(
+            doc.get("schema"),
+            Some(&Json::Str(TRACE_SCHEMA.into()))
+        );
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("missing traceEvents: {}", doc.render());
+        };
+        assert_eq!(events.len(), 2);
+        for e in events {
+            for key in ["name", "ph", "ts", "pid", "tid", "args"] {
+                assert!(e.get(key).is_some(), "missing {key}: {}", e.render());
+            }
+        }
+        assert_eq!(events[0].get("ph"), Some(&Json::Str("X".into())));
+        assert!(events[0].get("dur").is_some());
+        assert_eq!(events[1].get("ph"), Some(&Json::Str("i".into())));
+        assert_eq!(events[1].get("s"), Some(&Json::Str("t".into())));
     }
 }

@@ -10,7 +10,7 @@ use safetsa_core::value::{BlockId, Literal, ValueId};
 use safetsa_rt::heap::{ArrData, Obj};
 use safetsa_rt::layout::{ClassShape, Layout, Statics};
 use safetsa_rt::{intrinsics, Heap, HeapRef, Output, Trap, Value};
-use safetsa_telemetry::Telemetry;
+use safetsa_telemetry::{Json, Telemetry};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
@@ -115,6 +115,101 @@ pub struct VmStats {
     pub exceptions: u64,
 }
 
+/// How many instructions around the sample point feed the opcode-pair
+/// histogram (the "opcode window").
+const PROFILE_WINDOW: usize = 8;
+
+/// A statistical execution profile collected by sampling at fuel-slice
+/// boundaries (see [`Vm::enable_profiler`]). Every `every_slices`
+/// slices — i.e. every `every_slices × DEADLINE_SLICE` executed
+/// instructions — the profiler records the currently executing function
+/// into the hot-function table and the window of instructions ending at
+/// the sample point into the opcode-pair histogram. Sampling soundness:
+/// the sample sites are a deterministic function of the instruction
+/// stream (not of wall-clock timers), so a function's share of samples
+/// converges on its share of executed instructions, and profiles from
+/// repeated runs of deterministic programs are identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmProfile {
+    /// Fuel slices between samples (0 when the profiler is off).
+    pub every_slices: u32,
+    /// Samples taken.
+    pub samples: u64,
+    /// Samples per function name (the hot-function table). A `BTreeMap`
+    /// so exports are deterministically ordered.
+    pub hot: BTreeMap<String, u64>,
+    /// Consecutive opcode pairs (`"a>b"`) seen in sample windows — the
+    /// superinstruction-selection signal.
+    pub pairs: BTreeMap<String, u64>,
+}
+
+impl VmProfile {
+    /// Whether any samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// The most-sampled function, with its sample count.
+    pub fn top_function(&self) -> Option<(&str, u64)> {
+        self.hot
+            .iter()
+            .max_by_key(|(name, n)| (*n, std::cmp::Reverse(name.as_str())))
+            .map(|(name, n)| (name.as_str(), *n))
+    }
+
+    /// Merges another profile into this one (sample counts add). Used
+    /// for the serve daemon's per-tenant accumulation.
+    pub fn merge(&mut self, other: &VmProfile) {
+        if other.every_slices != 0 {
+            self.every_slices = other.every_slices;
+        }
+        self.samples += other.samples;
+        for (name, n) in &other.hot {
+            *self.hot.entry(name.clone()).or_insert(0) += n;
+        }
+        for (pair, n) in &other.pairs {
+            *self.pairs.entry(pair.clone()).or_insert(0) += n;
+        }
+    }
+
+    /// Exports the profile as JSON:
+    /// `{every_slices, samples, hot: {fn: n}, pairs: {"a>b": n}}`.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("every_slices", Json::U64(u64::from(self.every_slices)));
+        o.set("samples", Json::U64(self.samples));
+        let mut hot = Json::obj();
+        for (name, n) in &self.hot {
+            hot.set(name, Json::U64(*n));
+        }
+        o.set("hot", hot);
+        let mut pairs = Json::obj();
+        for (pair, n) in &self.pairs {
+            pairs.set(pair, Json::U64(*n));
+        }
+        o.set("pairs", pairs);
+        o
+    }
+
+    /// Records one sample: the executing function plus the opcode pairs
+    /// in `window` — the dynamically executed opcode sequence ending at
+    /// the sample point (it crosses block and call boundaries, unlike a
+    /// static window, so the pairs reflect real dispatch adjacency).
+    fn sample(&mut self, f: &Function, window: &[&'static str]) {
+        self.samples += 1;
+        match self.hot.get_mut(&f.name) {
+            Some(n) => *n += 1,
+            None => {
+                self.hot.insert(f.name.clone(), 1);
+            }
+        }
+        for w in window.windows(2) {
+            let key = format!("{}>{}", w[0], w[1]);
+            *self.pairs.entry(key).or_insert(0) += 1;
+        }
+    }
+}
+
 /// Built-in exception classes resolved at load time.
 #[derive(Debug, Clone, Copy)]
 struct ExcClasses {
@@ -160,10 +255,28 @@ pub struct Vm<'m> {
     /// clock reads except at slice boundaries, so an unset deadline
     /// costs one predictable branch per instruction.
     deadline: Option<Instant>,
+    /// Whether the dispatch loop counts down fuel slices at all — true
+    /// when a deadline is set or the profiler is on. Both piggyback on
+    /// the same slice countdown, so their combined per-instruction cost
+    /// is still one predictable branch.
+    slice_active: bool,
     /// Instructions remaining in the current deadline slice.
     slice_left: u32,
     /// Slice-boundary clock reads performed (resource-report quantity).
     deadline_checks: u64,
+    /// Fuel slices between profiler samples (0 = profiler off).
+    profile_every: u32,
+    /// Slices remaining until the next profiler sample.
+    profile_countdown: u32,
+    /// Ring of the most recently executed opcode mnemonics (the
+    /// profiler's opcode window), maintained only while profiling.
+    profile_ring: [&'static str; PROFILE_WINDOW],
+    /// Valid entries in `profile_ring` (saturates at the window size).
+    profile_ring_len: u8,
+    /// Next write position in `profile_ring`.
+    profile_ring_idx: u8,
+    /// The sampling profile (empty until [`Vm::enable_profiler`]).
+    profile: VmProfile,
     /// Whether the dispatch loop updates [`VmStats`].
     collect_stats: bool,
     /// Dynamic counters (empty until [`Vm::enable_stats`]).
@@ -292,8 +405,15 @@ impl<'m> Vm<'m> {
             peak_depth: 0,
             max_depth: None,
             deadline: None,
+            slice_active: false,
             slice_left: 0,
             deadline_checks: 0,
+            profile_every: 0,
+            profile_countdown: 0,
+            profile_ring: [""; PROFILE_WINDOW],
+            profile_ring_len: 0,
+            profile_ring_idx: 0,
+            profile: VmProfile::default(),
             collect_stats: false,
             stats: VmStats::default(),
         };
@@ -343,12 +463,43 @@ impl<'m> Vm<'m> {
     /// happens at most one slice of instructions past the deadline.
     pub fn set_deadline(&mut self, deadline: Instant) {
         self.deadline = Some(deadline);
+        self.slice_active = true;
         self.slice_left = DEADLINE_SLICE;
     }
 
-    /// Clears any wall-clock deadline.
+    /// Clears any wall-clock deadline (the slice countdown stays on if
+    /// the profiler still needs it).
     pub fn clear_deadline(&mut self) {
         self.deadline = None;
+        self.slice_active = self.profile_every != 0;
+    }
+
+    /// Turns on the sampling profiler: every `every_slices` fuel slices
+    /// (of [`DEADLINE_SLICE`] instructions each) the dispatch loop
+    /// records the current function and opcode window into a
+    /// [`VmProfile`]. `every_slices` of 0 disables sampling.
+    pub fn enable_profiler(&mut self, every_slices: u32) {
+        self.profile_every = every_slices;
+        self.profile_countdown = every_slices;
+        self.profile.every_slices = every_slices;
+        if every_slices != 0 {
+            self.slice_active = true;
+            if self.slice_left == 0 {
+                self.slice_left = DEADLINE_SLICE;
+            }
+        } else {
+            self.slice_active = self.deadline.is_some();
+        }
+    }
+
+    /// The sampling profile collected so far.
+    pub fn profile(&self) -> &VmProfile {
+        &self.profile
+    }
+
+    /// Takes the sampling profile, leaving an empty one behind.
+    pub fn take_profile(&mut self) -> VmProfile {
+        std::mem::take(&mut self.profile)
     }
 
     /// Applies a full set of resource budgets (fuel, heap bytes, call
@@ -391,6 +542,9 @@ impl<'m> Vm<'m> {
         tm.set("vm.peak_depth", u64::from(self.peak_depth));
         if self.deadline.is_some() {
             tm.set("vm.deadline.slice_checks", self.deadline_checks);
+        }
+        if self.profile_every != 0 {
+            tm.set("vm.profile.samples", self.profile.samples);
         }
         tm.set("vm.heap.bytes_allocated", self.heap.bytes_allocated());
         tm.set("vm.heap.objects", self.heap.len() as u64);
@@ -650,13 +804,43 @@ impl<'m> Vm<'m> {
             }
             self.fuel -= 1;
             self.steps += 1;
-            if let Some(deadline) = self.deadline {
+            if self.slice_active {
+                if self.profile_every != 0 {
+                    self.profile_ring[self.profile_ring_idx as usize] = instr.mnemonic();
+                    self.profile_ring_idx =
+                        (self.profile_ring_idx + 1) % PROFILE_WINDOW as u8;
+                    if (self.profile_ring_len as usize) < PROFILE_WINDOW {
+                        self.profile_ring_len += 1;
+                    }
+                }
                 self.slice_left -= 1;
                 if self.slice_left == 0 {
                     self.slice_left = DEADLINE_SLICE;
-                    self.deadline_checks += 1;
-                    if Instant::now() >= deadline {
-                        return Err(Trap::DeadlineExceeded);
+                    // Sample before the deadline check so a request
+                    // killed at this boundary still carries its
+                    // at-kill-time hot-function sample.
+                    if self.profile_every != 0 {
+                        self.profile_countdown -= 1;
+                        if self.profile_countdown == 0 {
+                            self.profile_countdown = self.profile_every;
+                            let mut window = [""; PROFILE_WINDOW];
+                            let n = self.profile_ring_len as usize;
+                            for (i, slot) in window[..n].iter_mut().enumerate() {
+                                let src = (self.profile_ring_idx as usize
+                                    + PROFILE_WINDOW
+                                    - n
+                                    + i)
+                                    % PROFILE_WINDOW;
+                                *slot = self.profile_ring[src];
+                            }
+                            self.profile.sample(f, &window[..n]);
+                        }
+                    }
+                    if let Some(deadline) = self.deadline {
+                        self.deadline_checks += 1;
+                        if Instant::now() >= deadline {
+                            return Err(Trap::DeadlineExceeded);
+                        }
                     }
                 }
             }

@@ -30,4 +30,4 @@
 
 mod interp;
 
-pub use interp::{ResourceLimits, Vm, VmError, VmStats, DEADLINE_SLICE};
+pub use interp::{ResourceLimits, Vm, VmError, VmProfile, VmStats, DEADLINE_SLICE};

@@ -620,3 +620,84 @@ fn error_is_outside_the_exception_hierarchy() {
             | safetsa_vm::VmError::Uncaught(safetsa_rt::Trap::OutOfMemory)
     ));
 }
+
+#[test]
+fn profiler_samples_hot_functions_deterministically() {
+    let src = "class A {
+         static int hot() { int s = 0; for (int i = 0; i < 20000; i++) s += i; return s; }
+         static int main() { return hot(); }
+     }";
+    let profile_of = || {
+        let prog = compile(src).expect("compiles");
+        let lowered = lower_program(&prog).expect("lowers");
+        verify_module(&lowered.module).expect("verifies");
+        let mut vm = Vm::load(&lowered.module).expect("loads");
+        vm.enable_profiler(1);
+        vm.run_entry("A.main").expect("runs");
+        let p = vm.take_profile();
+        assert!(vm.profile().is_empty(), "take_profile leaves an empty one");
+        p
+    };
+    let p = profile_of();
+    assert!(p.samples > 10, "loop body must cross many slices: {p:?}");
+    assert_eq!(p.top_function().unwrap().0, "A.hot");
+    assert!(!p.pairs.is_empty(), "opcode window must yield pairs");
+    // Samples land at instruction-count boundaries, not timer ticks, so
+    // a deterministic program profiles identically on every run.
+    assert_eq!(p, profile_of());
+}
+
+#[test]
+fn profiler_off_means_no_samples_and_no_slice_cost() {
+    let (_, _) = run(
+        "class A { static int main() {
+             int s = 0; for (int i = 0; i < 5000; i++) s += i; return s;
+         } }",
+        "A.main",
+    );
+    let prog = compile("class A { static int main() { return 1; } }").unwrap();
+    let lowered = lower_program(&prog).unwrap();
+    verify_module(&lowered.module).unwrap();
+    let mut vm = Vm::load(&lowered.module).unwrap();
+    vm.run_entry("A.main").unwrap();
+    assert!(vm.profile().is_empty());
+}
+
+#[test]
+fn profiler_survives_a_deadline_kill() {
+    // The at-kill-time sample: a spin killed by the deadline must still
+    // carry hot-function evidence, because sampling happens at the
+    // slice boundary *before* the deadline check.
+    let prog = compile(
+        "class A { static int main() { int i = 0; while (true) { i = i + 1; } } }",
+    )
+    .expect("compiles");
+    let lowered = lower_program(&prog).expect("lowers");
+    verify_module(&lowered.module).expect("verifies");
+    let mut vm = Vm::load(&lowered.module).expect("loads");
+    vm.enable_profiler(1);
+    vm.set_deadline(std::time::Instant::now() + std::time::Duration::from_millis(20));
+    let err = vm.run_entry("A.main").unwrap_err();
+    assert!(matches!(err, safetsa_vm::VmError::DeadlineExceeded));
+    let p = vm.profile();
+    assert!(p.samples > 0, "kill-time sample missing: {p:?}");
+    assert_eq!(p.top_function().unwrap().0, "A.main");
+}
+
+#[test]
+fn profiles_merge_additively() {
+    let mut a = safetsa_vm::VmProfile::default();
+    a.every_slices = 4;
+    a.samples = 3;
+    a.hot.insert("A.f".into(), 3);
+    a.pairs.insert("add>mul".into(), 2);
+    let mut b = safetsa_vm::VmProfile::default();
+    b.every_slices = 4;
+    b.samples = 5;
+    b.hot.insert("A.f".into(), 1);
+    b.hot.insert("B.g".into(), 5);
+    a.merge(&b);
+    assert_eq!(a.samples, 8);
+    assert_eq!(a.hot["A.f"], 4);
+    assert_eq!(a.top_function().unwrap(), ("B.g", 5));
+}

@@ -3,6 +3,9 @@
 //! ```text
 //! safetsa compile <in.java>... -o <out.tsa> [--no-opt]   produce a module
 //!     [--metrics-json PATH]   write a machine-readable metrics report
+//!     [--trace-json PATH]   write a Chrome trace_event timeline
+//!     (schema `safetsa-trace/1`) of every stage, cache probe, task
+//!     and worker
 //!     [--jobs N] [--cache-dir PATH]   batch mode: compile each input as
 //!     its own module on N workers (0 = one per CPU) behind a
 //!     content-addressed cache; with several inputs, -o names a
@@ -13,6 +16,7 @@
 //!     goes to stderr
 //!     [--metrics-json PATH]   write a metrics report (adds the VM's
 //!     opcode histogram and dynamic check counters)
+//!     [--trace-json PATH]   write the run's span timeline
 //! safetsa dump <file.java> [--function Class.method] [--view V]
 //!     show an IR view (V: safetsa|plain|lr|planes; default safetsa)
 //! safetsa stats <file.java>             per-phase size/time/check stats
@@ -32,6 +36,8 @@
 //!     (keys: fuel, heap, depth, deadline_ms, source_bytes); repeatable
 //!     [--cache-dir PATH] [--chaos] [--no-remote-shutdown]
 //!     [--metrics-json PATH]   write the final stats snapshot on exit
+//!     [--trace-json PATH]   write the flight recorder's retained
+//!     request timelines (Chrome trace_event) on exit
 //! ```
 //!
 //! Exit codes: 0 success; 1 request-level failure (verify/decode/VM
@@ -62,16 +68,17 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: safetsa <compile|run|dump|stats|analyze|verify|serve> ...");
             eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt] [--metrics-json PATH]");
-            eprintln!("      [--jobs N] [--cache-dir PATH]");
+            eprintln!("      [--trace-json PATH] [--jobs N] [--cache-dir PATH]");
             eprintln!("  run <file.tsa|file.java> --entry Class.method");
             eprintln!("      [--fuel N] [--max-heap BYTES] [--max-depth N] [--metrics-json PATH]");
+            eprintln!("      [--trace-json PATH]");
             eprintln!("  dump <file.java> [--function Class.method]");
             eprintln!("  stats <file.java>");
             eprintln!("  analyze <in.java>... [--json]");
             eprintln!("  verify <file.tsa>");
             eprintln!("  serve [--tcp ADDR|--socket PATH] [--workers N] [--queue N]");
             eprintln!("      [--tenant NAME:k=v,...] [--cache-dir PATH] [--chaos]");
-            eprintln!("      [--metrics-json PATH]");
+            eprintln!("      [--metrics-json PATH] [--trace-json PATH]");
             return ExitCode::from(2);
         }
     };
@@ -128,6 +135,7 @@ fn positional(args: &[String]) -> Vec<&String> {
                     | "--max-heap"
                     | "--max-depth"
                     | "--metrics-json"
+                    | "--trace-json"
                     | "--jobs"
                     | "--cache-dir"
                     | "--tcp"
@@ -164,11 +172,16 @@ fn build_module(sources: &[&String], pipeline: &Pipeline) -> Result<Built, Error
         .map(|p| read_source(p))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let prog = pipeline.frontend(&refs)?;
-    let mut module = pipeline.lower(&prog)?.module;
-    pipeline.optimize(&mut module);
-    pipeline.verify(&module)?;
-    Ok(Built { prog, module })
+    // Stages run individually (the baseline plane needs `prog`), but
+    // under the same `compile` umbrella span `compile_sources` emits,
+    // so traces from every surface share one tree shape.
+    pipeline.metrics().span("compile", || {
+        let prog = pipeline.frontend(&refs)?;
+        let mut module = pipeline.lower(&prog)?.module;
+        pipeline.optimize(&mut module);
+        pipeline.verify(&module)?;
+        Ok(Built { prog, module })
+    })
 }
 
 /// Records the Java-bytecode baseline plane and the paper's headline
@@ -199,10 +212,30 @@ fn write_metrics(path: &str, doc: &Json) -> Result<(), Error> {
     std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}").into())
 }
 
+/// Picks the registry for a command from its `--metrics-json` /
+/// `--trace-json` flags: tracing implies metrics (spans ride on an
+/// enabled registry), metrics alone skips the span buffer, neither
+/// costs nothing.
+fn configure_telemetry(metrics: bool, trace: bool) -> Telemetry {
+    if trace {
+        Telemetry::with_trace()
+    } else if metrics {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+fn write_trace(path: &str, tm: &Telemetry) -> Result<(), Error> {
+    std::fs::write(path, tm.to_chrome_trace().render_pretty())
+        .map_err(|e| format!("{path}: {e}").into())
+}
+
 fn cmd_compile(args: &[String]) -> Result<(), Error> {
     let out = flag_value(args, "-o").ok_or("missing -o <out.tsa>")?;
     let optimize = !args.iter().any(|a| a == "--no-opt");
     let metrics_path = flag_value(args, "--metrics-json");
+    let trace_path = flag_value(args, "--trace-json");
     let jobs: Option<usize> = parse_flag(args, "--jobs")?;
     let cache_dir = flag_value(args, "--cache-dir");
     let sources = positional(args);
@@ -210,13 +243,17 @@ fn cmd_compile(args: &[String]) -> Result<(), Error> {
         return Err("no input files".into());
     }
     if jobs.is_some() || cache_dir.is_some() {
-        return compile_batch(&sources, out, optimize, metrics_path, jobs, cache_dir);
+        return compile_batch(
+            &sources,
+            out,
+            optimize,
+            metrics_path,
+            trace_path,
+            jobs,
+            cache_dir,
+        );
     }
-    let tm = if metrics_path.is_some() {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
-    };
+    let tm = configure_telemetry(metrics_path.is_some(), trace_path.is_some());
     let pipeline = configure_pipeline(optimize, tm);
     let built = build_module(&sources, &pipeline)?;
     let bytes = pipeline.encode(&built.module)?;
@@ -225,6 +262,9 @@ fn cmd_compile(args: &[String]) -> Result<(), Error> {
         record_baseline(&built.prog, bytes.len() as u64, pipeline.metrics())?;
         let subject: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
         write_metrics(path, &pipeline.metrics().report("compile", &subject.join(" ")))?;
+    }
+    if let Some(path) = trace_path {
+        write_trace(path, pipeline.metrics())?;
     }
     println!(
         "wrote {out}: {} bytes, {} functions, {} instructions, {} phis",
@@ -266,10 +306,14 @@ fn compile_batch(
     out: &str,
     optimize: bool,
     metrics_path: Option<&str>,
+    trace_path: Option<&str>,
     jobs: Option<usize>,
     cache_dir: Option<&str>,
 ) -> Result<(), Error> {
-    let telemetry = metrics_path.is_some();
+    // Tracing rides on enabled metrics, so either flag turns per-task
+    // collection on — and the cache key must reflect that the stored
+    // metrics payload differs.
+    let telemetry = metrics_path.is_some() || trace_path.is_some();
     let inputs: Vec<BatchInput> = sources
         .iter()
         .map(|p| {
@@ -283,17 +327,16 @@ fn compile_batch(
     opts.jobs = jobs.unwrap_or(0);
     opts.cache_dir = cache_dir.map(PathBuf::from);
     opts.telemetry = telemetry;
-    let report = run_batch(&inputs, &opts, |_idx, input| {
-        let tm = if telemetry {
-            Telemetry::enabled()
-        } else {
-            Telemetry::disabled()
-        };
+    opts.trace = trace_path.is_some();
+    let report = run_batch(&inputs, &opts, |_idx, input, tm| {
         let pipeline = configure_pipeline(optimize, tm);
-        let prog = pipeline.frontend(&[input.source.as_str()])?;
-        let mut module = pipeline.lower(&prog)?.module;
-        pipeline.optimize(&mut module);
-        pipeline.verify(&module)?;
+        let (prog, module) = pipeline.metrics().span("compile", || {
+            let prog = pipeline.frontend(&[input.source.as_str()])?;
+            let mut module = pipeline.lower(&prog)?.module;
+            pipeline.optimize(&mut module);
+            pipeline.verify(&module)?;
+            Ok::<_, Error>((prog, module))
+        })?;
         let bytes = pipeline.encode(&module)?;
         if telemetry {
             record_baseline(&prog, bytes.len() as u64, pipeline.metrics())?;
@@ -335,6 +378,9 @@ fn compile_batch(
         let subject: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
         write_metrics(path, &report.merged.report("compile", &subject.join(" ")))?;
     }
+    if let Some(path) = trace_path {
+        write_trace(path, &report.merged)?;
+    }
     Ok(())
 }
 
@@ -344,10 +390,15 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
     let max_heap: Option<u64> = parse_flag(args, "--max-heap")?;
     let max_depth: Option<u32> = parse_flag(args, "--max-depth")?;
     let metrics_path = flag_value(args, "--metrics-json");
+    let trace_path = flag_value(args, "--trace-json");
     // The registry also backs the stderr resource report, so `run`
-    // always records.
+    // always records (tracing is opt-in via --trace-json).
     let pipeline = Pipeline::new()
-        .telemetry(Telemetry::enabled())
+        .telemetry(if trace_path.is_some() {
+            Telemetry::with_trace()
+        } else {
+            Telemetry::enabled()
+        })
         .limits(safetsa_vm::ResourceLimits {
             fuel: Some(fuel),
             max_heap_bytes: max_heap,
@@ -383,6 +434,9 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
     );
     if let Some(path) = metrics_path {
         write_metrics(path, &pipeline.metrics().report("run", file))?;
+    }
+    if let Some(path) = trace_path {
+        write_trace(path, pipeline.metrics())?;
     }
     if let Some(v) = outcome.result? {
         println!("=> {v:?}");
@@ -653,6 +707,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
         shutdown: Arc::clone(&shutdown),
     };
     let metrics_path = flag_value(args, "--metrics-json");
+    let trace_path = flag_value(args, "--trace-json");
     let server = Server::bind(cfg)?;
     println!("serve: listening on {}", server.local_addr());
 
@@ -687,6 +742,10 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
         doc.set("schema", Json::Str("safetsa-serve-metrics/1".into()));
         doc.set("stats", summary.stats);
         write_metrics(path, &doc)?;
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(path, summary.trace.render_pretty())
+            .map_err(|e| Error::from(format!("{path}: {e}")))?;
     }
     Ok(())
 }

@@ -29,9 +29,10 @@ fn options(jobs: usize) -> BatchOptions {
     opts
 }
 
-/// One batch task: the full producer pipeline on a fresh [`Pipeline`].
-fn compile_task(_idx: usize, input: &BatchInput) -> Result<(Vec<u8>, Telemetry), Error> {
-    let pipeline = Pipeline::new().telemetry(Telemetry::enabled());
+/// One batch task: the full producer pipeline on the driver-provided
+/// per-task registry.
+fn compile_task(_idx: usize, input: &BatchInput, tm: Telemetry) -> Result<(Vec<u8>, Telemetry), Error> {
+    let pipeline = Pipeline::new().telemetry(tm);
     let module = pipeline.compile_source(&input.source)?;
     let bytes = pipeline.encode(&module)?;
     Ok((bytes, pipeline.into_metrics()))

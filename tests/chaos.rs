@@ -452,3 +452,158 @@ fn pipeline_deadline_records_fuel_slice_telemetry() {
         .expect("slice checks recorded");
     assert!(checks >= 1, "at least one slice boundary must check the clock");
 }
+
+/// The flight recorder's reason to exist: a panicked request's span
+/// tree survives the unwind and is queryable over the wire via the
+/// `trace` op — request id, outcome, and the `request` span marked
+/// `unfinished` at the moment the worker died.
+#[test]
+fn flight_recorder_retains_panicked_request_timeline() {
+    let (addr, handle, join) = spawn(ServerConfig::default());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    let mut doc = request_obj("compile", "kaboom");
+    doc.set("source", Json::Str("//!chaos:panic\nclass B {}".into()));
+    let resp = client.request(&doc).expect("panic response");
+    assert_eq!(status(&resp), "error");
+    assert_eq!(kind(&resp), "panic");
+
+    let mut q = request_obj("trace", "t1");
+    q.set("query", Json::Str("kaboom".into()));
+    let resp = client.request(&q).expect("trace response");
+    assert_eq!(status(&resp), "ok");
+    let p = payload(&resp);
+    assert_eq!(p.get("matched").and_then(Json::as_u64), Some(1));
+    let Some(Json::Arr(records)) = p.get("records") else {
+        panic!("trace payload without records: {}", p.render());
+    };
+    let rec = &records[0];
+    assert_eq!(rec.get("id"), Some(&Json::Str("kaboom".into())));
+    assert_eq!(rec.get("status"), Some(&Json::Str("error".into())));
+    assert_eq!(rec.get("kind"), Some(&Json::Str("panic".into())));
+    assert!(rec.get("total_ns").and_then(Json::as_u64).is_some());
+
+    let trace = rec.get("trace").expect("record carries its trace");
+    assert_eq!(
+        trace.get("schema"),
+        Some(&Json::Str("safetsa-trace/1".into()))
+    );
+    let Some(Json::Arr(spans)) = trace.get("spans") else {
+        panic!("trace without spans: {}", trace.render());
+    };
+    let request_span = spans
+        .iter()
+        .find(|s| s.get("name") == Some(&Json::Str("request".into())))
+        .expect("request span retained");
+    let attrs = request_span.get("attrs").expect("request span attrs");
+    assert_eq!(attrs.get("id"), Some(&Json::Str("kaboom".into())));
+    assert_eq!(attrs.get("op"), Some(&Json::Str("compile".into())));
+    // The panic left the span open; the snapshot marks it unfinished.
+    assert_eq!(attrs.get("unfinished"), Some(&Json::Bool(true)));
+    // The synthetic queue-wait span shares the timeline.
+    assert!(spans
+        .iter()
+        .any(|s| s.get("name") == Some(&Json::Str("queued".into()))));
+
+    drain(&handle, join);
+}
+
+/// A deadline-killed spin loop leaves a full forensic record: the
+/// `request` span tagged with the error kind, the `vm.run` span, and —
+/// because the profiler samples *before* the slice's deadline check —
+/// a hot-function profile naming the loop that was running at kill
+/// time, merged into the tenant's accumulated profile.
+#[test]
+fn flight_recorder_catches_deadline_kill_with_profile() {
+    let (addr, handle, join) = spawn(ServerConfig {
+        default_tenant: unmetered(),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let resp = client
+        .request(&run_req("spin-flight", SPIN, "Spin.main", 50))
+        .expect("deadline response");
+    assert_eq!(status(&resp), "error");
+    assert_eq!(kind(&resp), "deadline_exceeded");
+
+    let trace = handle.trace();
+    let Some(Json::Arr(records)) = trace.get("records") else {
+        panic!("trace payload without records: {}", trace.render());
+    };
+    let rec = records
+        .iter()
+        .find(|r| r.get("id") == Some(&Json::Str("spin-flight".into())))
+        .expect("deadline-killed request retained");
+    assert_eq!(rec.get("kind"), Some(&Json::Str("deadline_exceeded".into())));
+
+    let Some(Json::Arr(spans)) = rec.get("trace").and_then(|t| t.get("spans")) else {
+        panic!("record without spans: {}", rec.render());
+    };
+    let request_span = spans
+        .iter()
+        .find(|s| s.get("name") == Some(&Json::Str("request".into())))
+        .expect("request span retained");
+    let attrs = request_span.get("attrs").expect("request span attrs");
+    assert_eq!(
+        attrs.get("error"),
+        Some(&Json::Str("deadline_exceeded".into()))
+    );
+    assert!(spans
+        .iter()
+        .any(|s| s.get("name") == Some(&Json::Str("vm.run".into()))));
+
+    // The at-kill-time sample profile rode along with the record...
+    let profile = rec.get("profile").expect("record carries a profile");
+    let samples = profile.get("samples").and_then(Json::as_u64).unwrap_or(0);
+    assert!(samples > 0, "deadline kill must still carry samples");
+    let hot = profile.get("hot").expect("hot-function table");
+    assert!(
+        hot.get("Spin.main").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "the spinning function must dominate the profile: {}",
+        hot.render()
+    );
+
+    // ...and was merged into the tenant's accumulated profile.
+    let merged = trace
+        .get("profiles")
+        .and_then(|p| p.get("default"))
+        .expect("per-tenant merged profile");
+    assert_eq!(merged.get("samples").and_then(Json::as_u64), Some(samples));
+
+    drain(&handle, join);
+}
+
+/// The enriched `stats` payload: uptime, per-kind error counters, and
+/// per-tenant breakdowns all reflect the traffic that produced them,
+/// and latency quantiles come from exact retained samples.
+#[test]
+fn stats_break_down_by_kind_and_tenant() {
+    let (addr, handle, join) = spawn(ServerConfig::default());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    let mut doc = request_obj("compile", "boom");
+    doc.set("source", Json::Str("//!chaos:panic\nclass B {}".into()));
+    doc.set("tenant", Json::Str("gold".into()));
+    let resp = client.request(&doc).expect("panic response");
+    assert_eq!(kind(&resp), "panic");
+    let resp = client
+        .request(&run_req("fine", "class A { static int main() { return 7; } }", "A.main", 5_000))
+        .expect("ok response");
+    assert_eq!(status(&resp), "ok");
+
+    let stats = handle.stats();
+    assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some());
+    let kinds = stats.get("kinds").expect("per-kind counters");
+    assert_eq!(kinds.get("panic").and_then(Json::as_u64), Some(1));
+    let tenants = stats.get("tenants").expect("per-tenant breakdowns");
+    let gold = tenants.get("gold").expect("gold tenant row");
+    assert_eq!(gold.get("requests").and_then(Json::as_u64), Some(1));
+    assert_eq!(gold.get("panics").and_then(Json::as_u64), Some(1));
+    let default = tenants.get("default").expect("default tenant row");
+    assert_eq!(default.get("ok").and_then(Json::as_u64), Some(1));
+    let latency = stats.get("latency").expect("latency block");
+    assert!(latency.get("p50_ns").and_then(Json::as_u64).is_some());
+    assert!(latency.get("p99_ns").and_then(Json::as_u64).is_some());
+
+    drain(&handle, join);
+}
