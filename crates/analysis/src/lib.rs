@@ -15,11 +15,20 @@
 //!   redundant.
 //! - [`liveness`]: backward demand propagation; which values can
 //!   influence observable behaviour.
+//! - [`alias`]: allocation-site points-to sets over the reference
+//!   planes — which local `new`/`newarray` results a reference may
+//!   denote.
+//! - [`escape`]: the `NoEscape < ArgEscape < GlobalEscape` lattice per
+//!   allocation site, layered on the points-to facts — which heap
+//!   facts can survive a call.
 //!
-//! Facts flow to two consumers: the `checkelim` pass in `crates/opt`
-//! (rewriting provably redundant checks) and the IR [`lint`]er
-//! (`safetsa analyze`), which reports always-trapping sites, dead
-//! stores, unreachable code, constant branches, and unused values.
+//! Facts flow to two consumers: the optimization passes in
+//! `crates/opt` (`checkelim` rewriting provably redundant checks,
+//! `loadfwd`/`dse` forwarding loads and deleting dead stores from the
+//! alias/escape facts) and the IR [`lint`]er (`safetsa analyze`),
+//! which reports always-trapping sites, dead stores, unreachable
+//! code, constant branches, unused values, and the heap diagnostics
+//! the same points-to facts prove.
 //!
 //! The framework ([`framework`]) is *sparse*: facts live on SSA values
 //! rather than program points, with per-block flow sensitivity
@@ -29,6 +38,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alias;
+pub mod escape;
 pub mod framework;
 pub mod guards;
 pub mod lint;
@@ -36,6 +47,8 @@ pub mod liveness;
 pub mod nullness;
 pub mod range;
 
+pub use alias::{AliasAnalysis, AllocSite, PointsTo};
+pub use escape::{Escape, EscapeAnalysis};
 pub use framework::{BackwardAnalysis, Facts, Fixpoint, ForwardAnalysis, JoinLattice};
 pub use guards::{block_guards, BlockGuards, Guard};
 pub use lint::{lint_function, lint_module, Diagnostic, Severity};

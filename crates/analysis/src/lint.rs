@@ -9,8 +9,13 @@
 //! **warning**: suspicious, semantics-preserving to remove, and often
 //! intentional in test code. A provable trap *inside* a `try` is
 //! downgraded to a warning too, because trapping may be exactly the
-//! point (exception-path tests).
+//! point (exception-path tests). **Notes** are advisory observations
+//! that are not even suspicious — facts the heap analyses can see
+//! (such as aliasing that pins a load inside a loop) that explain why
+//! the optimizer behaves the way it does.
 
+use crate::alias;
+use crate::escape;
 use crate::liveness::{self, is_pure};
 use crate::nullness::{self, Nullity};
 use crate::range::{self, origin};
@@ -20,9 +25,9 @@ use safetsa_core::function::Function;
 use safetsa_core::instr::Instr;
 use safetsa_core::module::Module;
 use safetsa_core::primops;
-use safetsa_core::types::{FieldRef, PrimKind, TypeKind, TypeTable};
+use safetsa_core::types::{FieldRef, PrimKind, TypeId, TypeKind, TypeTable};
 use safetsa_core::value::{BlockId, Def, Literal, ValueId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Diagnostic severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -31,14 +36,17 @@ pub enum Severity {
     Error,
     /// Suspicious but semantics-preserving.
     Warning,
+    /// Advisory observation; informational only.
+    Note,
 }
 
 impl Severity {
-    /// The lowercase name (`error` / `warning`).
+    /// The lowercase name (`error` / `warning` / `note`).
     pub fn name(self) -> &'static str {
         match self {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Note => "note",
         }
     }
 }
@@ -213,8 +221,286 @@ pub fn lint_function(types: &TypeTable, f: &Function) -> Vec<Diagnostic> {
     // Constant branch conditions and the unreachable code they imply.
     lint_branches(types, f, &f.body, &nn, &rg, &mut out);
 
+    // Heap lints over the allocation-site alias and escape facts.
+    lint_heap(types, f, &cfg, &mut out);
+
     out.sort_by_key(|d| (d.block.0, d.instr));
     out
+}
+
+/// Heap lints over the allocation-site alias and escape analyses —
+/// the same facts that power `opt`'s load forwarding and dead-store
+/// elimination, surfaced as diagnostics:
+///
+/// * `never-read-store` (warning): a store through a base whose
+///   points-to set is complete, non-empty, and all-`NoEscape`, to a
+///   field (or array element type) that no load in the function can
+///   address through any of those sites. By the escape lemma nothing
+///   outside the function holds a reference either, so the stored
+///   value is unobservable; dead-store elimination will drop it.
+/// * `never-written-load` (warning): a load through such a base of a
+///   field (or array element type) that no store in the function can
+///   reach through any of those sites — the load always yields the
+///   location's default value.
+/// * `aliased-mutation-in-loop` (note): inside one loop, a store and
+///   a load of the same field (or element type) through *different*
+///   references that may alias. Not a bug — but the store pins the
+///   load in place: the optimizer must repeat it every iteration.
+fn lint_heap(types: &TypeTable, f: &Function, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let al = alias::analyze(types, f, cfg);
+    let esc = escape::analyze(f, cfg, &al);
+    // Contained = every location the base can denote is a known
+    // allocation invisible outside the function, so in-function
+    // memory operations are the only possible observers.
+    let contained = |v: ValueId| {
+        al.sites_of(v)
+            .is_some_and(|s| !s.is_empty() && esc.all_no_escape(s))
+    };
+    let field_name = |r: FieldRef| {
+        types
+            .field(r)
+            .map_or_else(|| "<unknown>".to_string(), |i| i.name.clone())
+    };
+
+    // Per-field / per-element-type unions of the sites any load reads
+    // through and any store writes through. External-tainted bases
+    // contribute only their known sites: by the escape lemma the
+    // external component can never denote a `NoEscape` site, and only
+    // `NoEscape`-site locations are judged below.
+    let mut field_reads: HashMap<FieldRef, BTreeSet<alias::AllocSite>> = HashMap::new();
+    let mut field_writes: HashMap<FieldRef, BTreeSet<alias::AllocSite>> = HashMap::new();
+    let mut elt_reads: HashMap<TypeId, BTreeSet<alias::AllocSite>> = HashMap::new();
+    let mut elt_writes: HashMap<TypeId, BTreeSet<alias::AllocSite>> = HashMap::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        for instr in &block.instrs {
+            match instr {
+                Instr::GetField { object, field, .. } => {
+                    field_reads
+                        .entry(*field)
+                        .or_default()
+                        .extend(al.possible_sites(*object));
+                }
+                Instr::SetField { object, field, .. } => {
+                    field_writes
+                        .entry(*field)
+                        .or_default()
+                        .extend(al.possible_sites(*object));
+                }
+                Instr::GetElt { arr_ty, array, .. } => {
+                    elt_reads
+                        .entry(*arr_ty)
+                        .or_default()
+                        .extend(al.possible_sites(*array));
+                }
+                Instr::SetElt { arr_ty, array, .. } => {
+                    elt_writes
+                        .entry(*arr_ty)
+                        .or_default()
+                        .extend(al.possible_sites(*array));
+                }
+                _ => {}
+            }
+        }
+    }
+    let disjoint = |sites: &BTreeSet<alias::AllocSite>,
+                    seen: Option<&BTreeSet<alias::AllocSite>>| {
+        seen.is_none_or(|r| sites.iter().all(|s| !r.contains(s)))
+    };
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let b = BlockId(bi as u32);
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        for (k, instr) in block.instrs.iter().enumerate() {
+            let (severity, kind, message) = match instr {
+                Instr::SetField { object, field, .. }
+                    if contained(*object)
+                        && disjoint(al.sites_of(*object).unwrap(), field_reads.get(field)) =>
+                {
+                    (
+                        Severity::Warning,
+                        "never-read-store",
+                        format!(
+                            "field `{}` of this non-escaping object is stored but never read",
+                            field_name(*field)
+                        ),
+                    )
+                }
+                Instr::SetElt { arr_ty, array, .. }
+                    if contained(*array)
+                        && disjoint(al.sites_of(*array).unwrap(), elt_reads.get(arr_ty)) =>
+                {
+                    (
+                        Severity::Warning,
+                        "never-read-store",
+                        "this non-escaping array is stored to but never read".to_string(),
+                    )
+                }
+                Instr::GetField { object, field, .. }
+                    if contained(*object)
+                        && disjoint(al.sites_of(*object).unwrap(), field_writes.get(field)) =>
+                {
+                    (
+                        Severity::Warning,
+                        "never-written-load",
+                        format!(
+                            "field `{}` of this non-escaping object is never written; the load always yields its default value",
+                            field_name(*field)
+                        ),
+                    )
+                }
+                Instr::GetElt { arr_ty, array, .. }
+                    if contained(*array)
+                        && disjoint(al.sites_of(*array).unwrap(), elt_writes.get(arr_ty)) =>
+                {
+                    (
+                        Severity::Warning,
+                        "never-written-load",
+                        "this non-escaping array is never written; the load always yields zero"
+                            .to_string(),
+                    )
+                }
+                _ => continue,
+            };
+            out.push(Diagnostic {
+                severity,
+                kind,
+                function: f.name.clone(),
+                block: b,
+                instr: Some(k),
+                message,
+            });
+        }
+    }
+
+    let mut noted = HashSet::new();
+    lint_loop_aliasing(types, f, &f.body, &al, &esc, &mut noted, out);
+}
+
+/// Like [`alias::AliasAnalysis::may_alias`], sharpened by the escape
+/// lemma: when one side's points-to set is complete and all-`NoEscape`,
+/// no reference outside the function's SSA values denotes those sites,
+/// so the other side — however external-tainted — can only alias
+/// through a shared known site.
+fn may_alias_escape_aware(
+    al: &alias::AliasAnalysis,
+    esc: &escape::EscapeAnalysis,
+    a: ValueId,
+    b: ValueId,
+) -> bool {
+    if !al.may_alias(a, b) {
+        return false;
+    }
+    for (x, y) in [(a, b), (b, a)] {
+        if let Some(sx) = al.sites_of(x) {
+            if esc.all_no_escape(sx) {
+                let sy = al.possible_sites(y);
+                return sx.iter().any(|s| sy.contains(s));
+            }
+        }
+    }
+    true
+}
+
+/// A memory operation inside a loop, for the aliased-mutation note:
+/// the partition it touches and the canonical origin of its base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LoopLoc {
+    Field(FieldRef),
+    Elt(TypeId),
+}
+
+/// Walks the CST for loops (innermost first, so a store is attributed
+/// to the tightest loop containing the aliased pair) and reports
+/// stores that may alias a same-partition load through a different
+/// reference in the same loop.
+fn lint_loop_aliasing(
+    types: &TypeTable,
+    f: &Function,
+    cst: &Cst,
+    al: &alias::AliasAnalysis,
+    esc: &escape::EscapeAnalysis,
+    noted: &mut HashSet<(BlockId, usize)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    match cst {
+        Cst::Seq(items) => {
+            for c in items {
+                lint_loop_aliasing(types, f, c, al, esc, noted, out);
+            }
+        }
+        Cst::If {
+            then_br, else_br, ..
+        } => {
+            lint_loop_aliasing(types, f, then_br, al, esc, noted, out);
+            lint_loop_aliasing(types, f, else_br, al, esc, noted, out);
+        }
+        Cst::Labeled { body, .. } => lint_loop_aliasing(types, f, body, al, esc, noted, out),
+        Cst::Try { body, handler, .. } => {
+            lint_loop_aliasing(types, f, body, al, esc, noted, out);
+            lint_loop_aliasing(types, f, handler, al, esc, noted, out);
+        }
+        Cst::Loop { body, .. } => {
+            lint_loop_aliasing(types, f, body, al, esc, noted, out);
+            let mut loads: Vec<(LoopLoc, ValueId)> = Vec::new();
+            let mut stores: Vec<(LoopLoc, ValueId, BlockId, usize)> = Vec::new();
+            for b in cst.blocks() {
+                for (k, instr) in f.block(b).instrs.iter().enumerate() {
+                    match instr {
+                        Instr::GetField { object, field, .. } => {
+                            loads.push((LoopLoc::Field(*field), origin(f, *object)));
+                        }
+                        Instr::GetElt { arr_ty, array, .. } => {
+                            loads.push((LoopLoc::Elt(*arr_ty), origin(f, *array)));
+                        }
+                        Instr::SetField { object, field, .. } => {
+                            stores.push((LoopLoc::Field(*field), origin(f, *object), b, k));
+                        }
+                        Instr::SetElt { arr_ty, array, .. } => {
+                            stores.push((LoopLoc::Elt(*arr_ty), origin(f, *array), b, k));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for (loc, sb, b, k) in stores {
+                if noted.contains(&(b, k)) {
+                    continue;
+                }
+                let aliased = loads.iter().any(|&(ll, lb)| {
+                    ll == loc && lb != sb && may_alias_escape_aware(al, esc, sb, lb)
+                });
+                if !aliased {
+                    continue;
+                }
+                noted.insert((b, k));
+                let what = match loc {
+                    LoopLoc::Field(r) => format!(
+                        "store to field `{}`",
+                        types
+                            .field(r)
+                            .map_or_else(|| "<unknown>".to_string(), |i| i.name.clone())
+                    ),
+                    LoopLoc::Elt(_) => "array element store".to_string(),
+                };
+                out.push(Diagnostic {
+                    severity: Severity::Note,
+                    kind: "aliased-mutation-in-loop",
+                    function: f.name.clone(),
+                    block: b,
+                    instr: Some(k),
+                    message: format!(
+                        "{what} may alias a load through a different reference in the same loop; the load must be repeated every iteration"
+                    ),
+                });
+            }
+        }
+        _ => {}
+    }
 }
 
 /// What an instruction means to the dead-store scan.

@@ -5,7 +5,7 @@
 //! reduction each pass is responsible for.
 
 use safetsa_core::verify::verify_module;
-use safetsa_opt::{MemModel, Passes};
+use safetsa_opt::Passes;
 use safetsa_ssa::lower_program;
 use safetsa_telemetry::Telemetry;
 
@@ -13,58 +13,32 @@ fn count(m: &safetsa_core::Module) -> usize {
     m.instr_count() + m.phi_count()
 }
 
+/// A configuration with exactly one pass enabled.
+fn only(set: impl Fn(&mut Passes)) -> Passes {
+    let mut p = Passes::NONE;
+    set(&mut p);
+    p
+}
+
 fn main() {
     let configs: &[(&str, Passes)] = &[
-        (
-            "constprop",
-            Passes {
-                constprop: true,
-                cse: false,
-                checkelim: false,
-                dce: false,
-                mem: MemModel::Monolithic,
-            },
-        ),
-        (
-            "cse",
-            Passes {
-                constprop: false,
-                cse: true,
-                checkelim: false,
-                dce: false,
-                mem: MemModel::Monolithic,
-            },
-        ),
-        (
-            "checkelim",
-            Passes {
-                constprop: false,
-                cse: false,
-                checkelim: true,
-                dce: false,
-                mem: MemModel::Monolithic,
-            },
-        ),
-        (
-            "dce",
-            Passes {
-                constprop: false,
-                cse: false,
-                checkelim: false,
-                dce: true,
-                mem: MemModel::Monolithic,
-            },
-        ),
+        ("constprop", only(|p| p.constprop = true)),
+        ("cse", only(|p| p.cse = true)),
+        ("checkelim", only(|p| p.checkelim = true)),
+        ("loadfwd", only(|p| p.loadfwd = true)),
+        ("dse", only(|p| p.dse = true)),
+        ("dce", only(|p| p.dce = true)),
         ("all", Passes::ALL),
         ("all+fieldmem", Passes::ALL_FIELD_MEM),
     ];
     println!("Pass ablation over the corpus (instruction+phi counts)");
     println!();
-    println!(
-        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Program", "base", "constp", "cse", "checkel", "dce", "all", "all+fm"
-    );
-    let mut totals = [0usize; 7];
+    print!("{:<14} {:>8}", "Program", "base");
+    for (name, _) in configs {
+        print!(" {:>8}", &name[..name.len().min(8)]);
+    }
+    println!();
+    let mut totals = vec![0usize; configs.len() + 1];
     for entry in safetsa_bench::corpus() {
         let prog = safetsa_frontend::compile(entry.source).expect("front-end");
         let lowered = lower_program(&prog).expect("lowering");
@@ -76,10 +50,11 @@ fn main() {
             verify_module(&m).expect("verifies");
             row.push(count(&m));
         }
-        println!(
-            "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            entry.name, row[0], row[1], row[2], row[3], row[4], row[5], row[6]
-        );
+        print!("{:<14}", entry.name);
+        for v in &row {
+            print!(" {v:>8}");
+        }
+        println!();
         for (t, v) in totals.iter_mut().zip(&row) {
             *t += v;
         }
@@ -89,7 +64,7 @@ fn main() {
     println!("reduction vs baseline (paper: constprop 1-2%, dce 3-7%, cse 5-14%):");
     for (i, (name, _)) in configs.iter().enumerate() {
         println!(
-            "  {:<10} -{:.1}%",
+            "  {:<12} -{:.1}%",
             name,
             100.0 * (totals[0] - totals[i + 1]) as f64 / base
         );

@@ -20,13 +20,16 @@
 //! `totals.driver`.
 //!
 //! The thresholds file is line-oriented: `Name max_permille
-//! [min_checks_eliminated]`, `#` comments and blank lines ignored. A
-//! program whose `codec.size_ratio_permille` (optimized SafeTSA bytes *
-//! 1000 / class-file bytes) exceeds its threshold fails the check, as
-//! does one whose eliminated safety-check count (null + index, full
-//! pass pipeline) drops below the optional floor; a program with no
-//! threshold entry only warns, so adding corpus programs does not break
-//! CI until a threshold is blessed.
+//! [min_checks_eliminated [min_mem_removed]]`, `#` comments and blank
+//! lines ignored. A program whose `codec.size_ratio_permille`
+//! (optimized SafeTSA bytes * 1000 / class-file bytes) exceeds its
+//! threshold fails the check, as does one whose eliminated
+//! safety-check count (null + index, full pass pipeline) drops below
+//! the optional floor, or whose memory-operation removals (loads
+//! forwarded by `loadfwd` + stores eliminated by `dse`) drop below the
+//! optional third floor; a program with no threshold entry only warns,
+//! so adding corpus programs does not break CI until a threshold is
+//! blessed.
 
 use safetsa_bench::serve::{run_loadgen, LoadgenOptions};
 use safetsa_bench::{corpus_report, ProgramReport};
@@ -177,6 +180,16 @@ fn aggregate(reports: &[ProgramReport], batch: &BatchReport, serve: Json) -> Jso
         "checks_eliminated_cse_only",
         Json::U64(reports.iter().map(|r| r.checks_eliminated_cse_only).sum()),
     );
+    let mut opt = Json::obj();
+    opt.set(
+        "loads_forwarded",
+        Json::U64(reports.iter().map(|r| r.loads_forwarded).sum()),
+    );
+    opt.set(
+        "stores_eliminated",
+        Json::U64(reports.iter().map(|r| r.stores_eliminated).sum()),
+    );
+    totals.set("opt", opt);
 
     let mut doc = Json::obj();
     doc.set("schema", Json::Str("safetsa-bench/1".into()));
@@ -196,7 +209,7 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut thresholds: BTreeMap<String, (u64, Option<u64>)> = BTreeMap::new();
+    let mut thresholds: BTreeMap<String, (u64, Option<u64>, Option<u64>)> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -227,15 +240,30 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
             },
             None => None,
         };
-        thresholds.insert(name.to_string(), (limit, floor));
+        let mem_floor = match parts.next() {
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!(
+                        "bench_report: {path}:{}: bad memory-removal floor `{raw}`",
+                        lineno + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        thresholds.insert(name.to_string(), (limit, floor, mem_floor));
     }
 
     let mut failures = 0usize;
     for r in reports {
+        let mem_removed = r.loads_forwarded + r.stores_eliminated;
         match thresholds.get(r.name) {
-            Some(&(limit, floor)) => {
+            Some(&(limit, floor, mem_floor)) => {
                 let ratio_ok = r.ratio_permille <= limit;
                 let checks_ok = floor.is_none_or(|f| r.checks_eliminated >= f);
+                let mem_ok = mem_floor.is_none_or(|f| mem_removed >= f);
                 if !ratio_ok {
                     eprintln!(
                         "FAIL {:<14} encoded/class ratio {} permille exceeds threshold {}",
@@ -252,27 +280,38 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
                     );
                     failures += 1;
                 }
-                if ratio_ok && checks_ok {
+                if !mem_ok {
+                    eprintln!(
+                        "FAIL {:<14} removed {} memory ops (loadfwd+dse), below floor {}",
+                        r.name,
+                        mem_removed,
+                        mem_floor.unwrap_or(0)
+                    );
+                    failures += 1;
+                }
+                if ratio_ok && checks_ok && mem_ok {
                     println!(
-                        "ok   {:<14} ratio {} permille (threshold {}), {} checks eliminated (floor {})",
+                        "ok   {:<14} ratio {} permille (threshold {}), {} checks eliminated (floor {}), {} mem ops removed (floor {})",
                         r.name,
                         r.ratio_permille,
                         limit,
                         r.checks_eliminated,
-                        floor.map_or_else(|| "none".into(), |f| f.to_string())
+                        floor.map_or_else(|| "none".into(), |f| f.to_string()),
+                        mem_removed,
+                        mem_floor.map_or_else(|| "none".into(), |f| f.to_string())
                     );
                 }
             }
             None => {
                 eprintln!(
-                    "warn {:<14} no threshold entry (current ratio {} permille, {} checks eliminated)",
-                    r.name, r.ratio_permille, r.checks_eliminated
+                    "warn {:<14} no threshold entry (current ratio {} permille, {} checks eliminated, {} mem ops removed)",
+                    r.name, r.ratio_permille, r.checks_eliminated, mem_removed
                 );
             }
         }
     }
     if failures > 0 {
-        eprintln!("bench_report: {failures} program(s) regressed past the size-ratio threshold");
+        eprintln!("bench_report: {failures} program(s) regressed past their thresholds");
         ExitCode::FAILURE
     } else {
         println!("bench_report: all {} programs within thresholds", reports.len());

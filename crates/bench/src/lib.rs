@@ -72,6 +72,7 @@ pub fn corpus() -> Vec<CorpusEntry> {
         corpus_entry!("NBody", "NBody.java", "NBody.main"),
         corpus_entry!("GameOfLife", "GameOfLife.java", "GameOfLife.main"),
         corpus_entry!("Pathfind", "Pathfind.java", "Pathfind.main"),
+        corpus_entry!("Filter", "Filter.java", "Filter.main"),
         // data structures & OO workloads
         corpus_entry!("QuickSort", "QuickSort.java", "QuickSort.main"),
         corpus_entry!("HashTable", "HashTable.java", "HashTable.main"),
@@ -294,6 +295,10 @@ pub struct ProgramReport {
     /// Safety checks removed with `checkelim` disabled — the CSE-only
     /// baseline the dataflow pass is measured against.
     pub checks_eliminated_cse_only: u64,
+    /// Loads removed by the alias-driven `loadfwd` pass.
+    pub loads_forwarded: u64,
+    /// Stores removed by the alias-driven `dse` pass.
+    pub stores_eliminated: u64,
 }
 
 impl ProgramReport {
@@ -312,6 +317,8 @@ impl ProgramReport {
             steps: c("vm.steps"),
             checks_eliminated: c("opt.checks.eliminated"),
             checks_eliminated_cse_only: c("opt.checks.eliminated_cse_only"),
+            loads_forwarded: c("opt.loadfwd.removed"),
+            stores_eliminated: c("opt.dse.removed"),
         }
     }
 }

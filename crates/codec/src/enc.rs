@@ -144,16 +144,6 @@ pub fn encode_module(m: &Module) -> Result<Vec<u8>, EncodeError> {
     encode_sections(m).map(|(bytes, _)| bytes)
 }
 
-/// Deprecated alias for [`encode_sections`].
-///
-/// # Errors
-///
-/// Returns [`EncodeError`] when the module is not in verified shape.
-#[deprecated(note = "use `safetsa::Pipeline` or `encode_sections`")]
-pub fn encode_module_sections(m: &Module) -> Result<(Vec<u8>, Sections), EncodeError> {
-    encode_sections(m)
-}
-
 /// [`encode_module`] returning the per-section bit breakdown alongside
 /// the stream. The accounting is a handful of position reads per
 /// function, so it is always on.

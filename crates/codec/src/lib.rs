@@ -48,8 +48,6 @@ pub mod refs;
 pub use bits::DecodeError;
 pub use dec::{decode_and_verify, decode_module, HostEnv};
 pub use enc::{encode_module, encode_sections, EncodeError, Sections};
-#[allow(deprecated)]
-pub use enc::encode_module_sections;
 
 use safetsa_telemetry::Telemetry;
 
@@ -66,19 +64,6 @@ pub fn encode(m: &safetsa_core::Module, tm: &Telemetry) -> Result<Vec<u8>, Encod
     let (bytes, sec) = tm.time("codec.encode_ns", || encode_sections(m))?;
     record_sections(&sec, tm);
     Ok(bytes)
-}
-
-/// Deprecated alias for [`encode`].
-///
-/// # Errors
-///
-/// Returns [`EncodeError`] when the module is not in verified shape.
-#[deprecated(note = "use `safetsa::Pipeline` or `encode`")]
-pub fn encode_module_traced(
-    m: &safetsa_core::Module,
-    tm: &Telemetry,
-) -> Result<Vec<u8>, EncodeError> {
-    encode(m, tm)
 }
 
 /// Records one [`Sections`] breakdown into the `codec.*` counter plane.

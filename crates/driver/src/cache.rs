@@ -50,10 +50,12 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// missed knob would alias two distinct compilations onto one key.
 pub fn passes_fingerprint(passes: &Passes) -> String {
     format!(
-        "cp{}-cse{}-ce{}-dce{}-mem{}",
+        "cp{}-cse{}-ce{}-lf{}-dse{}-dce{}-mem{}",
         u8::from(passes.constprop),
         u8::from(passes.cse),
         u8::from(passes.checkelim),
+        u8::from(passes.loadfwd),
+        u8::from(passes.dse),
         u8::from(passes.dce),
         match passes.mem {
             MemModel::Monolithic => "mono",

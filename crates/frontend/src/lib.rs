@@ -50,26 +50,6 @@ pub fn compile_many(srcs: &[&str]) -> Result<hir::Program, CompileError> {
     compile_sources(srcs, &Telemetry::disabled())
 }
 
-/// Deprecated alias for [`compile_sources`] on a single source.
-///
-/// # Errors
-///
-/// Returns the first lexical, syntactic, or semantic error.
-#[deprecated(note = "use `safetsa::Pipeline` or `compile_sources`")]
-pub fn compile_with(src: &str, tm: &Telemetry) -> Result<hir::Program, CompileError> {
-    compile_sources(&[src], tm)
-}
-
-/// Deprecated alias for [`compile_sources`].
-///
-/// # Errors
-///
-/// Returns the first error, without attributing the file.
-#[deprecated(note = "use `safetsa::Pipeline` or `compile_sources`")]
-pub fn compile_many_with(srcs: &[&str], tm: &Telemetry) -> Result<hir::Program, CompileError> {
-    compile_sources(srcs, tm)
-}
-
 /// The canonical instrumented entry point: compiles several source
 /// files as one program (shared class space), recording per-phase wall
 /// time (`frontend.lex_ns` / `frontend.parse_ns` / `frontend.sema_ns`)

@@ -14,6 +14,12 @@
 //! * [`checkelim`] — dataflow-driven check elimination: nullness and
 //!   range facts from `safetsa-analysis` prove checks redundant that
 //!   CSE cannot reach (no dominating identical check required),
+//! * [`loadfwd`] — redundant-load elimination and store-to-load
+//!   forwarding over the allocation-site alias/escape facts; strictly
+//!   stronger than CSE's `Mem` model (forwards stored values, keeps
+//!   facts alive across calls for non-escaping receivers),
+//! * [`dse`] — dead-store elimination: stores overwritten before any
+//!   observer, and stores to non-escaping allocations never read,
 //! * [`dce`] — liveness-based dead instruction and phi removal.
 //!
 //! Baseline check elimination falls out of CSE: a dominating
@@ -41,7 +47,9 @@ pub mod checkelim;
 pub mod constprop;
 pub mod cse;
 pub mod dce;
+pub mod dse;
 mod fixup;
+pub mod loadfwd;
 
 use safetsa_core::function::Function;
 use safetsa_core::instr::Instr;
@@ -73,6 +81,10 @@ pub struct Passes {
     pub cse: bool,
     /// Dataflow-driven check elimination (nullness + range analysis).
     pub checkelim: bool,
+    /// Alias/escape-driven load forwarding.
+    pub loadfwd: bool,
+    /// Alias/escape-driven dead-store elimination.
+    pub dse: bool,
     /// Dead code and phi elimination.
     pub dce: bool,
     /// Memory model used by CSE.
@@ -85,6 +97,8 @@ impl Passes {
         constprop: true,
         cse: true,
         checkelim: true,
+        loadfwd: true,
+        dse: true,
         dce: true,
         mem: MemModel::Monolithic,
     };
@@ -94,6 +108,8 @@ impl Passes {
         constprop: true,
         cse: true,
         checkelim: true,
+        loadfwd: true,
+        dse: true,
         dce: true,
         mem: MemModel::FieldPartitioned,
     };
@@ -103,6 +119,8 @@ impl Passes {
         constprop: false,
         cse: false,
         checkelim: false,
+        loadfwd: false,
+        dse: false,
         dce: false,
         mem: MemModel::Monolithic,
     };
@@ -133,10 +151,19 @@ pub struct OptStats {
     pub removed_by_cse: usize,
     /// Checks rewritten away or deleted by check elimination.
     pub removed_by_checkelim: usize,
+    /// Loads removed by load forwarding.
+    pub removed_by_loadfwd: usize,
+    /// Stores removed by dead-store elimination.
+    pub removed_by_dse: usize,
     /// Instructions (and phis) removed by DCE.
     pub removed_by_dce: usize,
     /// Per-analysis telemetry from check elimination.
     pub checkelim: checkelim::CheckElimStats,
+    /// Per-analysis telemetry from load forwarding (includes the
+    /// alias/escape analysis counters).
+    pub loadfwd: loadfwd::LoadFwdStats,
+    /// Telemetry from dead-store elimination.
+    pub dse: dse::DseStats,
 }
 
 impl OptStats {
@@ -153,8 +180,12 @@ impl OptStats {
         self.removed_by_constprop += o.removed_by_constprop;
         self.removed_by_cse += o.removed_by_cse;
         self.removed_by_checkelim += o.removed_by_checkelim;
+        self.removed_by_loadfwd += o.removed_by_loadfwd;
+        self.removed_by_dse += o.removed_by_dse;
         self.removed_by_dce += o.removed_by_dce;
         self.checkelim.add(&o.checkelim);
+        self.loadfwd.add(&o.loadfwd);
+        self.dse.add(&o.dse);
     }
 }
 
@@ -201,6 +232,20 @@ pub fn optimize_function(types: &TypeTable, f: &Function, passes: Passes) -> (Fu
             changed |= ce.removed() > 0;
             cur = next;
         }
+        if passes.loadfwd {
+            let (next, lf) = loadfwd::run(types, &cur);
+            stats.removed_by_loadfwd += lf.removed();
+            stats.loadfwd.add(&lf);
+            changed |= lf.removed() > 0;
+            cur = next;
+        }
+        if passes.dse {
+            let (next, ds) = dse::run(types, &cur);
+            stats.removed_by_dse += ds.removed();
+            stats.dse.add(&ds);
+            changed |= ds.removed() > 0;
+            cur = next;
+        }
         if passes.dce {
             let (next, removed) = dce::run(&cur);
             stats.removed_by_dce += removed;
@@ -223,18 +268,6 @@ pub fn optimize_function(types: &TypeTable, f: &Function, passes: Passes) -> (Fu
 /// Optimizes every function of a module in place with all passes.
 pub fn optimize_module(m: &mut Module) -> OptStats {
     optimize(m, Passes::ALL, &Telemetry::disabled())
-}
-
-/// Deprecated alias for [`optimize`] with a disabled registry.
-#[deprecated(note = "use `safetsa::Pipeline` or `optimize`")]
-pub fn optimize_module_with(m: &mut Module, passes: Passes) -> OptStats {
-    optimize(m, passes, &Telemetry::disabled())
-}
-
-/// Deprecated alias for [`optimize`].
-#[deprecated(note = "use `safetsa::Pipeline` or `optimize`")]
-pub fn optimize_module_traced(m: &mut Module, passes: Passes, tm: &Telemetry) -> OptStats {
-    optimize(m, passes, tm)
 }
 
 /// The canonical entry point: optimizes every function of a module in
@@ -266,12 +299,15 @@ pub fn optimize(m: &mut Module, passes: Passes, tm: &Telemetry) -> OptStats {
         }
         total
     });
-    record_stats(&stats, tm);
+    record_stats(&stats, &passes, tm);
     stats
 }
 
-/// Records one [`OptStats`] into the `opt.*` counter plane.
-pub fn record_stats(stats: &OptStats, tm: &Telemetry) {
+/// Records one [`OptStats`] into the `opt.*` counter plane. Key planes
+/// belonging to a pass are emitted only when that pass ran, so ablated
+/// configurations (and cached metric replays of them) carry exactly
+/// the keys of the passes they exercised.
+pub fn record_stats(stats: &OptStats, passes: &Passes, tm: &Telemetry) {
     if !tm.is_enabled() {
         return;
     }
@@ -309,4 +345,22 @@ pub fn record_stats(stats: &OptStats, tm: &Telemetry) {
     tm.add("analysis.range.facts", ce.range_facts);
     tm.add("analysis.range.checks_proven", ce.index_proven as u64);
     tm.add("analysis.range.fixpoint_iterations", ce.range_iterations);
+    if passes.loadfwd {
+        let lf = &stats.loadfwd;
+        tm.add("opt.loadfwd.removed", stats.removed_by_loadfwd as u64);
+        tm.add("opt.loadfwd.store_forwarded", lf.store_forwarded as u64);
+        tm.add("opt.loadfwd.load_reused", lf.load_reused as u64);
+        tm.add("opt.loadfwd.kept_across_calls", lf.kept_across_calls as u64);
+        tm.add("analysis.alias.sites", lf.alias_sites);
+        tm.add("analysis.alias.facts", lf.alias_facts);
+        tm.add("analysis.alias.fixpoint_iterations", lf.alias_iterations);
+        tm.add("analysis.escape.no_escape", lf.escape_no);
+        tm.add("analysis.escape.arg_escape", lf.escape_arg);
+        tm.add("analysis.escape.global_escape", lf.escape_global);
+    }
+    if passes.dse {
+        tm.add("opt.dse.removed", stats.removed_by_dse as u64);
+        tm.add("opt.dse.overwritten", stats.dse.overwritten as u64);
+        tm.add("opt.dse.never_read", stats.dse.never_read as u64);
+    }
 }

@@ -208,11 +208,8 @@ fn pass_selection_ablation() {
     let s1 = safetsa_opt::optimize(
         &mut m1,
         Passes {
-            constprop: false,
             cse: true,
-            checkelim: false,
-            dce: false,
-            mem: safetsa_opt::MemModel::Monolithic,
+            ..Passes::NONE
         },
         &Telemetry::disabled(),
     );
@@ -248,16 +245,38 @@ fn field_partitioned_mem_keeps_unrelated_loads_available() {
             .map(|f| f.count_instrs(|i| matches!(i, safetsa_core::instr::Instr::GetField { .. })))
             .sum::<usize>()
     };
+    // Load forwarding is off on both sides: it is alias-aware and
+    // merges across the unrelated store under *either* memory model,
+    // which would erase the contrast this test pins.
     let mut mono = base.module.clone();
-    safetsa_opt::optimize(&mut mono, Passes::ALL, &Telemetry::disabled());
+    let mono_passes = Passes {
+        loadfwd: false,
+        ..Passes::ALL
+    };
+    safetsa_opt::optimize(&mut mono, mono_passes, &Telemetry::disabled());
     let mut field = base.module.clone();
-    safetsa_opt::optimize(&mut field, Passes::ALL_FIELD_MEM, &Telemetry::disabled());
+    let field_passes = Passes {
+        loadfwd: false,
+        ..Passes::ALL_FIELD_MEM
+    };
+    safetsa_opt::optimize(&mut field, field_passes, &Telemetry::disabled());
     verify_module(&field).unwrap();
     assert!(
         loads(&field) < loads(&mono),
         "field-partitioned Mem merges across the unrelated store: {} vs {}",
         loads(&field),
         loads(&mono)
+    );
+    // With loadfwd back on, even the monolithic model reaches the
+    // merged count: alias-aware forwarding subsumes the partitioning.
+    let mut fwd = base.module.clone();
+    safetsa_opt::optimize(&mut fwd, Passes::ALL, &Telemetry::disabled());
+    verify_module(&fwd).unwrap();
+    assert!(
+        loads(&fwd) <= loads(&field),
+        "loadfwd should subsume field-partitioned merging: {} vs {}",
+        loads(&fwd),
+        loads(&field)
     );
     // Semantics preserved.
     let run = |m: &safetsa_core::Module| run_module(m, "P.main").0;

@@ -68,17 +68,6 @@ pub fn lower_program(prog: &Program) -> Result<Lowered, LowerError> {
     construct(prog, &Telemetry::disabled())
 }
 
-/// Deprecated alias for [`construct`].
-///
-/// # Errors
-///
-/// Returns a [`LowerError`] if the HIR violates an invariant the
-/// lowering relies on (indicative of a front-end bug).
-#[deprecated(note = "use `safetsa::Pipeline` or `construct`")]
-pub fn lower_program_with(prog: &Program, tm: &Telemetry) -> Result<Lowered, LowerError> {
-    construct(prog, tm)
-}
-
 /// The canonical instrumented entry point: [`lower_program`] recording
 /// the construction wall time (`ssa.lower_ns`), the §7 construction
 /// counters (`ssa.phis_candidate` / `ssa.phis_inserted` /

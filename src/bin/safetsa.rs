@@ -496,11 +496,10 @@ fn run_analyze(args: &[String]) -> Result<bool, Error> {
     // what the programmer wrote, not at what the optimizer left behind.
     let built = build_module(&sources, &Pipeline::new().no_optimize())?;
     let diags = safetsa_analysis::lint_module(&built.module);
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == safetsa_analysis::Severity::Error)
-        .count();
-    let warnings = diags.len() - errors;
+    let count = |s: safetsa_analysis::Severity| diags.iter().filter(|d| d.severity == s).count();
+    let errors = count(safetsa_analysis::Severity::Error);
+    let warnings = count(safetsa_analysis::Severity::Warning);
+    let notes = count(safetsa_analysis::Severity::Note);
     if json {
         let mut doc = Json::obj();
         doc.set("schema", Json::Str("safetsa-analyze/1".into()));
@@ -508,6 +507,7 @@ fn run_analyze(args: &[String]) -> Result<bool, Error> {
         doc.set("subject", Json::Str(subject.join(" ")));
         doc.set("errors", Json::U64(errors as u64));
         doc.set("warnings", Json::U64(warnings as u64));
+        doc.set("notes", Json::U64(notes as u64));
         let items = diags
             .iter()
             .map(|d| {
@@ -542,11 +542,13 @@ fn run_analyze(args: &[String]) -> Result<bool, Error> {
             );
         }
         println!(
-            "{} error{}, {} warning{}",
+            "{} error{}, {} warning{}, {} note{}",
             errors,
             if errors == 1 { "" } else { "s" },
             warnings,
             if warnings == 1 { "" } else { "s" },
+            notes,
+            if notes == 1 { "" } else { "s" },
         );
     }
     Ok(errors > 0)
@@ -815,8 +817,12 @@ fn cmd_stats(args: &[String]) -> Result<(), Error> {
         ns(tm, "opt.optimize_ns") / 1000,
     );
     println!(
-        "passes        : constprop -{}, cse -{}, dce -{}",
-        stats.removed_by_constprop, stats.removed_by_cse, stats.removed_by_dce
+        "passes        : constprop -{}, cse -{}, loadfwd -{}, dse -{}, dce -{}",
+        stats.removed_by_constprop,
+        stats.removed_by_cse,
+        stats.removed_by_loadfwd,
+        stats.removed_by_dse,
+        stats.removed_by_dce
     );
     let total = sections.total_bits().max(1);
     println!(

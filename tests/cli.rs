@@ -191,6 +191,57 @@ fn analyze_reports_always_null_deref_as_error() {
 }
 
 #[test]
+fn analyze_reports_heap_lints_without_failing() {
+    let dir = std::env::temp_dir().join("safetsa-cli-test-heap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("Heap.java");
+    // A never-read store to a non-escaping array, a load of a
+    // never-written one, and a loop mutating one parameter while
+    // reading another (may alias). All warnings/notes: exit 0.
+    std::fs::write(
+        &src,
+        "class Cell { int v; }
+         class Heap {
+             static int churn(Cell a, Cell b, int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { a.v = i; s = s + b.v; }
+                 return s;
+             }
+             static int main() {
+                 int[] dead = new int[4];
+                 dead[0] = 7;
+                 int[] zero = new int[4];
+                 return zero[0];
+             }
+         }",
+    )
+    .unwrap();
+    let st = cli()
+        .args(["analyze", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        st.status.success(),
+        "{}",
+        String::from_utf8_lossy(&st.stderr)
+    );
+    let text = String::from_utf8_lossy(&st.stdout);
+    assert!(text.contains("never-read-store"), "{text}");
+    assert!(text.contains("never-written-load"), "{text}");
+    assert!(text.contains("aliased-mutation-in-loop"), "{text}");
+    assert!(text.contains("0 errors"), "{text}");
+
+    let js = cli()
+        .args(["analyze", src.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(js.status.success());
+    let text = String::from_utf8_lossy(&js.stdout);
+    assert!(text.contains("\"severity\": \"note\""), "{text}");
+    assert!(text.contains("\"notes\": "), "{text}");
+}
+
+#[test]
 fn verify_accepts_good_module_and_rejects_garbage() {
     let dir = std::env::temp_dir().join("safetsa-cli-test7");
     std::fs::create_dir_all(&dir).unwrap();

@@ -109,6 +109,74 @@ fn corpus_optimized_matches_unoptimized() {
     }
 }
 
+/// Corpus-wide: the memory passes toggled individually — load
+/// forwarding alone, dead-store elimination alone, and the full
+/// pipeline with each disabled — must keep every program bit-identical
+/// to its unoptimized module, trap paths (Exceptions) included.
+#[test]
+fn corpus_memory_pass_toggles_preserve_semantics() {
+    let configs = [
+        (
+            "loadfwd-only",
+            Passes {
+                loadfwd: true,
+                ..Passes::NONE
+            },
+        ),
+        (
+            "dse-only",
+            Passes {
+                dse: true,
+                ..Passes::NONE
+            },
+        ),
+        (
+            "all-minus-loadfwd",
+            Passes {
+                loadfwd: false,
+                ..Passes::ALL
+            },
+        ),
+        (
+            "all-minus-dse",
+            Passes {
+                dse: false,
+                ..Passes::ALL
+            },
+        ),
+    ];
+    for entry in safetsa_bench::corpus() {
+        let prog = compile(entry.source).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let lowered = lower_program(&prog).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let run = |m: &safetsa_core::Module| {
+            let mut vm = Vm::load(m).expect("loads");
+            vm.set_fuel(500_000_000);
+            let r = vm.run_entry(entry.entry).map_err(|e| e.to_string());
+            (r, vm.output.text().to_string())
+        };
+        let (r1, o1) = run(&lowered.module);
+        for (cfg_name, passes) in configs {
+            let mut m = lowered.module.clone();
+            safetsa_opt::optimize(&mut m, passes, &Telemetry::disabled());
+            verify_module(&m).unwrap_or_else(|e| {
+                panic!("{} [{cfg_name}]: optimized module rejected: {e}", entry.name)
+            });
+            let (r2, o2) = run(&m);
+            assert_eq!(o1, o2, "{} [{cfg_name}]: output diverged", entry.name);
+            match (&r1, &r2) {
+                (Ok(Some(x)), Ok(Some(y))) => {
+                    assert!(x.bits_eq(*y), "{} [{cfg_name}]: {x:?} vs {y:?}", entry.name);
+                }
+                (Ok(None), Ok(None)) => {}
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "{} [{cfg_name}]: error diverged", entry.name);
+                }
+                (a, b) => panic!("{} [{cfg_name}]: outcome diverged: {a:?} vs {b:?}", entry.name),
+            }
+        }
+    }
+}
+
 #[test]
 fn arithmetic_expressions() {
     differential(

@@ -138,6 +138,63 @@ fn metrics_json_schema_is_stable_and_deterministic() {
     check_golden("metrics_run_keys.txt", &run_keys);
 }
 
+/// Enabling the alias-driven memory passes may only *add* metric keys,
+/// and only in their own four planes: `opt.loadfwd.*`, `opt.dse.*`,
+/// `analysis.alias.*`, and `analysis.escape.*`. With the passes off,
+/// none of those keys may appear — `record_stats` gates each plane on
+/// the pass that owns it.
+#[test]
+fn memory_pass_metrics_live_only_in_their_own_planes() {
+    use safetsa_opt::Passes;
+    use safetsa_telemetry::Telemetry;
+
+    let entry = safetsa_bench::corpus()
+        .into_iter()
+        .find(|e| e.name == "Filter")
+        .expect("Filter in corpus");
+    let prog = safetsa_frontend::compile(entry.source).unwrap();
+    let base = safetsa_ssa::lower_program(&prog).unwrap().module;
+
+    let keys_for = |passes: Passes| -> std::collections::BTreeSet<String> {
+        let tm = Telemetry::enabled();
+        let mut m = base.clone();
+        safetsa_opt::optimize(&mut m, passes, &tm);
+        tm.export_flat()
+            .lines()
+            .filter_map(|l| l.split(' ').nth(1).map(str::to_string))
+            .collect()
+    };
+
+    let without = keys_for(Passes {
+        loadfwd: false,
+        dse: false,
+        ..Passes::ALL
+    });
+    let with = keys_for(Passes::ALL);
+
+    const PLANES: [&str; 4] = [
+        "opt.loadfwd.",
+        "opt.dse.",
+        "analysis.alias.",
+        "analysis.escape.",
+    ];
+    for k in &without {
+        assert!(
+            !PLANES.iter().any(|p| k.starts_with(p)),
+            "passes off, but plane key {k} was emitted"
+        );
+        assert!(with.contains(k), "enabling the passes dropped key {k}");
+    }
+    let added: Vec<&String> = with.difference(&without).collect();
+    assert!(!added.is_empty(), "enabling the passes added no keys");
+    for k in added {
+        assert!(
+            PLANES.iter().any(|p| k.starts_with(p)),
+            "pass toggle added key {k} outside its own planes"
+        );
+    }
+}
+
 /// `--jobs`/`--cache-dir` may only *add* key paths, and only in the
 /// `driver.*`/`cache.*` planes: the per-stage compilation metrics of a
 /// batch run must be indistinguishable from a serial run's.
