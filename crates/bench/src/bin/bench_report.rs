@@ -20,19 +20,26 @@
 //! `totals.driver`.
 //!
 //! The thresholds file is line-oriented: `Name max_permille
-//! [min_checks_eliminated [min_mem_removed]]`, `#` comments and blank
-//! lines ignored. A program whose `codec.size_ratio_permille`
-//! (optimized SafeTSA bytes * 1000 / class-file bytes) exceeds its
-//! threshold fails the check, as does one whose eliminated
-//! safety-check count (null + index, full pass pipeline) drops below
-//! the optional floor, or whose memory-operation removals (loads
-//! forwarded by `loadfwd` + stores eliminated by `dse`) drop below the
-//! optional third floor; a program with no threshold entry only warns,
-//! so adding corpus programs does not break CI until a threshold is
-//! blessed.
+//! [min_checks_eliminated [min_mem_removed [max_vm_steps]]]`, `#`
+//! comments and blank lines ignored. A program whose
+//! `codec.size_ratio_permille` (optimized SafeTSA bytes * 1000 /
+//! class-file bytes) exceeds its threshold fails the check, as does
+//! one whose eliminated safety-check count (null + index, full pass
+//! pipeline) drops below the optional floor, one whose
+//! memory-operation removals (loads forwarded by `loadfwd` + stores
+//! eliminated by `dse`) drop below the optional third floor, or one
+//! whose threaded-engine dynamic step count rises above the optional
+//! fourth ceiling (steps are deterministic; fusion regressions show up
+//! here); a program with no threshold entry only warns, so adding
+//! corpus programs does not break CI until a threshold is blessed.
+//!
+//! `--pairs PATH` additionally writes the corpus-wide opcode-pair
+//! histogram (switch-engine sampling profiler, merged over every
+//! program) — the offline analysis that selects the threaded engine's
+//! superinstructions.
 
 use safetsa_bench::serve::{run_loadgen, LoadgenOptions};
-use safetsa_bench::{corpus_report, ProgramReport};
+use safetsa_bench::{corpus_report, pair_histogram, ProgramReport};
 use safetsa_driver::batch::BatchReport;
 use safetsa_telemetry::Json;
 use std::collections::BTreeMap;
@@ -43,6 +50,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_pipeline.json");
     let mut check_path: Option<String> = None;
+    let mut pairs_path: Option<String> = None;
     let mut jobs = 1usize;
     let mut cache_dir: Option<PathBuf> = None;
     let mut i = 0;
@@ -76,9 +84,37 @@ fn main() -> ExitCode {
                     None => return usage("--cache-dir needs a path"),
                 }
             }
+            "--pairs" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => pairs_path = Some(p.clone()),
+                    None => return usage("--pairs needs a path"),
+                }
+            }
             other => return usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+
+    if let Some(path) = &pairs_path {
+        let profile = pair_histogram();
+        let mut pairs = Json::obj();
+        for (pair, n) in &profile.pairs {
+            pairs.set(pair.as_str(), Json::U64(*n));
+        }
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("safetsa-pairs/1".into()));
+        doc.set("samples", Json::U64(profile.samples));
+        doc.set("pairs", pairs);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("bench_report: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench_report: {} opcode pairs ({} samples) -> {path}",
+            profile.pairs.len(),
+            profile.samples
+        );
     }
 
     let (reports, batch) = corpus_report(jobs, cache_dir.as_deref());
@@ -117,6 +153,20 @@ fn main() -> ExitCode {
         batch.cache_hits,
         batch.cache_misses,
     );
+    let vm_wall: u64 = reports.iter().map(|r| r.vm_wall_ns).sum();
+    let switch_wall: u64 = reports.iter().map(|r| r.switch_wall_ns).sum();
+    let reduction = switch_wall
+        .saturating_sub(vm_wall)
+        .checked_mul(100)
+        .and_then(|n| n.checked_div(switch_wall))
+        .unwrap_or(0);
+    println!(
+        "bench_report: vm {} ms threaded vs {} ms switch ({reduction}% wall reduction), {} fused steps vs {} unfused",
+        vm_wall / 1_000_000,
+        switch_wall / 1_000_000,
+        reports.iter().map(|r| r.steps).sum::<u64>(),
+        reports.iter().map(|r| r.switch_steps).sum::<u64>(),
+    );
     println!(
         "bench_report: serve loadgen {} requests ({} shed, {} panics isolated), p50 {} us / p99 {} us",
         serve.requests,
@@ -130,7 +180,9 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_report: {msg}");
-    eprintln!("usage: bench_report [--out PATH] [--jobs N] [--cache-dir PATH] [--check PATH]");
+    eprintln!(
+        "usage: bench_report [--out PATH] [--jobs N] [--cache-dir PATH] [--check PATH] [--pairs PATH]"
+    );
     ExitCode::FAILURE
 }
 
@@ -172,6 +224,34 @@ fn aggregate(reports: &[ProgramReport], batch: &BatchReport, serve: Json) -> Jso
         "vm_steps",
         Json::U64(reports.iter().map(|r| r.steps).sum()),
     );
+    let icache_hits: u64 = reports.iter().map(|r| r.icache_hits).sum();
+    let icache_misses: u64 = reports.iter().map(|r| r.icache_misses).sum();
+    let mut vm = Json::obj();
+    vm.set(
+        "wall_ns",
+        Json::U64(reports.iter().map(|r| r.vm_wall_ns).sum()),
+    );
+    vm.set(
+        "switch_wall_ns",
+        Json::U64(reports.iter().map(|r| r.switch_wall_ns).sum()),
+    );
+    vm.set(
+        "steps",
+        Json::U64(reports.iter().map(|r| r.steps).sum()),
+    );
+    vm.set(
+        "switch_steps",
+        Json::U64(reports.iter().map(|r| r.switch_steps).sum()),
+    );
+    vm.set(
+        "icache_hit_permille",
+        Json::U64(
+            (icache_hits * 1000)
+                .checked_div(icache_hits + icache_misses)
+                .unwrap_or(0),
+        ),
+    );
+    totals.set("vm", vm);
     totals.set(
         "checks_eliminated",
         Json::U64(reports.iter().map(|r| r.checks_eliminated).sum()),
@@ -209,7 +289,8 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut thresholds: BTreeMap<String, (u64, Option<u64>, Option<u64>)> = BTreeMap::new();
+    type Entry = (u64, Option<u64>, Option<u64>, Option<u64>);
+    let mut thresholds: BTreeMap<String, Entry> = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -253,17 +334,31 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
             },
             None => None,
         };
-        thresholds.insert(name.to_string(), (limit, floor, mem_floor));
+        let steps_ceiling = match parts.next() {
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    eprintln!(
+                        "bench_report: {path}:{}: bad vm-steps ceiling `{raw}`",
+                        lineno + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        thresholds.insert(name.to_string(), (limit, floor, mem_floor, steps_ceiling));
     }
 
     let mut failures = 0usize;
     for r in reports {
         let mem_removed = r.loads_forwarded + r.stores_eliminated;
         match thresholds.get(r.name) {
-            Some(&(limit, floor, mem_floor)) => {
+            Some(&(limit, floor, mem_floor, steps_ceiling)) => {
                 let ratio_ok = r.ratio_permille <= limit;
                 let checks_ok = floor.is_none_or(|f| r.checks_eliminated >= f);
                 let mem_ok = mem_floor.is_none_or(|f| mem_removed >= f);
+                let steps_ok = steps_ceiling.is_none_or(|c| r.steps <= c);
                 if !ratio_ok {
                     eprintln!(
                         "FAIL {:<14} encoded/class ratio {} permille exceeds threshold {}",
@@ -289,16 +384,27 @@ fn check_thresholds(reports: &[ProgramReport], path: &str) -> ExitCode {
                     );
                     failures += 1;
                 }
-                if ratio_ok && checks_ok && mem_ok {
+                if !steps_ok {
+                    eprintln!(
+                        "FAIL {:<14} executed {} vm steps, above ceiling {}",
+                        r.name,
+                        r.steps,
+                        steps_ceiling.unwrap_or(0)
+                    );
+                    failures += 1;
+                }
+                if ratio_ok && checks_ok && mem_ok && steps_ok {
                     println!(
-                        "ok   {:<14} ratio {} permille (threshold {}), {} checks eliminated (floor {}), {} mem ops removed (floor {})",
+                        "ok   {:<14} ratio {} permille (threshold {}), {} checks eliminated (floor {}), {} mem ops removed (floor {}), {} vm steps (ceiling {})",
                         r.name,
                         r.ratio_permille,
                         limit,
                         r.checks_eliminated,
                         floor.map_or_else(|| "none".into(), |f| f.to_string()),
                         mem_removed,
-                        mem_floor.map_or_else(|| "none".into(), |f| f.to_string())
+                        mem_floor.map_or_else(|| "none".into(), |f| f.to_string()),
+                        r.steps,
+                        steps_ceiling.map_or_else(|| "none".into(), |c| c.to_string())
                     );
                 }
             }

@@ -17,7 +17,7 @@ use safetsa_opt::{OptStats, Passes};
 use safetsa_rt::Value;
 use safetsa_ssa::Lowered;
 use safetsa_telemetry::Telemetry;
-use safetsa_vm::{ResourceLimits, Vm, VmError, VmProfile};
+use safetsa_vm::{Engine, ResourceLimits, Vm, VmError, VmProfile};
 
 /// A configured SafeTSA pipeline: one object that can take source text
 /// all the way to wire bytes and back to an executed result.
@@ -44,6 +44,7 @@ pub struct Pipeline {
     limits: ResourceLimits,
     deadline: Option<std::time::Instant>,
     profile_every: Option<u32>,
+    engine: Engine,
 }
 
 /// Producer-side optimization setting.
@@ -119,6 +120,15 @@ impl Pipeline {
     /// this way, so no request can hold a worker forever.
     pub fn deadline(mut self, deadline: std::time::Instant) -> Pipeline {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Selects the VM execution engine used by [`Pipeline::run`]. The
+    /// default is [`Engine::Threaded`] (the pre-decoded direct-threaded
+    /// core); [`Engine::Switch`] keeps the original match-on-enum
+    /// interpreter available as a differential oracle.
+    pub fn engine(mut self, engine: Engine) -> Pipeline {
+        self.engine = engine;
         self
     }
 
@@ -278,6 +288,7 @@ impl Pipeline {
         if self.tm.is_enabled() {
             vm.enable_stats();
         }
+        vm.set_engine(self.engine);
         vm.set_limits(self.limits);
         if let Some(d) = self.deadline {
             vm.set_deadline(d);

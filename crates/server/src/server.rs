@@ -138,6 +138,9 @@ pub struct ServerConfig {
     pub allow_remote_shutdown: bool,
     /// External shutdown flag, typically flipped by a signal handler.
     pub shutdown: Arc<AtomicBool>,
+    /// VM execution engine for `run` requests (threaded by default;
+    /// switch keeps the oracle interpreter available for debugging).
+    pub engine: safetsa_vm::Engine,
 }
 
 impl Default for ServerConfig {
@@ -152,6 +155,7 @@ impl Default for ServerConfig {
             chaos: false,
             allow_remote_shutdown: true,
             shutdown: Arc::new(AtomicBool::new(false)),
+            engine: safetsa_vm::Engine::default(),
         }
     }
 }
@@ -244,6 +248,7 @@ struct Shared {
     tenants: Vec<(String, TenantProfile)>,
     chaos: bool,
     allow_remote_shutdown: bool,
+    engine: safetsa_vm::Engine,
     flight: FlightRecorder,
     /// Per-tenant accumulated VM sampling profiles (`""` is stored as
     /// `"default"`, matching the stats breakdown).
@@ -372,6 +377,7 @@ impl Server {
             tenants: cfg.tenants,
             chaos: cfg.chaos,
             allow_remote_shutdown: cfg.allow_remote_shutdown,
+            engine: cfg.engine,
             flight: FlightRecorder::default(),
             profiles: Mutex::new(BTreeMap::new()),
         });
@@ -802,6 +808,7 @@ fn handle_job(job: &Job, shared: &Arc<Shared>) -> Json {
         .telemetry(tm)
         .limits(job.profile.limits())
         .deadline(job.deadline)
+        .engine(shared.engine)
         .profile_every(PROFILE_EVERY_SLICES);
     let profile_slot: RefCell<Option<VmProfile>> = RefCell::new(None);
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

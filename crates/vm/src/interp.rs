@@ -90,6 +90,45 @@ impl ResourceLimits {
 /// clock read never shows in profiles.
 pub const DEADLINE_SLICE: u32 = 1024;
 
+/// Which execution core runs guest code.
+///
+/// Both engines implement identical guest semantics (outputs, traps,
+/// heap effects); they differ in dispatch strategy and in the
+/// granularity of fuel/deadline accounting (see DESIGN.md "Interpreter
+/// architecture").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The original match-on-`Instr` tree-walking interpreter, kept as
+    /// the differential oracle. Per-instruction fuel accounting.
+    Switch,
+    /// The pre-decoded direct-threaded core: flat decoded-op arrays,
+    /// superinstruction fusion, xdispatch inline caches, and
+    /// block-granularity fuel accounting.
+    #[default]
+    Threaded,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Switch => write!(f, "switch"),
+            Engine::Threaded => write!(f, "threaded"),
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "switch" => Ok(Engine::Switch),
+            "threaded" => Ok(Engine::Threaded),
+            other => Err(format!("unknown engine `{other}` (expected `switch` or `threaded`)")),
+        }
+    }
+}
+
 /// Dynamic execution statistics, collected only after
 /// [`Vm::enable_stats`] — the interpreter's dispatch loop pays one
 /// predictable branch otherwise. These are the *dynamic* counterparts
@@ -113,11 +152,17 @@ pub struct VmStats {
     pub arrays_allocated: u64,
     /// Traps materialized into exception objects (throws included).
     pub exceptions: u64,
+    /// Superinstruction executions keyed by fused pair (`"a>b"`) —
+    /// populated only by the threaded engine, which is the only engine
+    /// with fused ops. Each fused execution also counts both
+    /// constituents in `opcodes`, so the opcode histogram stays
+    /// engine-invariant.
+    pub fused: BTreeMap<&'static str, u64>,
 }
 
 /// How many instructions around the sample point feed the opcode-pair
 /// histogram (the "opcode window").
-const PROFILE_WINDOW: usize = 8;
+pub(crate) const PROFILE_WINDOW: usize = 8;
 
 /// A statistical execution profile collected by sampling at fuel-slice
 /// boundaries (see [`Vm::enable_profiler`]). Every `every_slices`
@@ -195,12 +240,12 @@ impl VmProfile {
     /// in `window` — the dynamically executed opcode sequence ending at
     /// the sample point (it crosses block and call boundaries, unlike a
     /// static window, so the pairs reflect real dispatch adjacency).
-    fn sample(&mut self, f: &Function, window: &[&'static str]) {
+    pub(crate) fn sample(&mut self, name: &str, window: &[&'static str]) {
         self.samples += 1;
-        match self.hot.get_mut(&f.name) {
+        match self.hot.get_mut(name) {
             Some(n) => *n += 1,
             None => {
-                self.hot.insert(f.name.clone(), 1);
+                self.hot.insert(name.to_string(), 1);
             }
         }
         for w in window.windows(2) {
@@ -224,16 +269,16 @@ struct ExcClasses {
 
 /// The SafeTSA virtual machine.
 pub struct Vm<'m> {
-    module: &'m Module,
-    layout: Layout,
-    statics: Statics,
+    pub(crate) module: &'m Module,
+    pub(crate) layout: Layout,
+    pub(crate) statics: Statics,
     /// Per-class vtable: slot → (class, method index) — derived by the
     /// consumer from the slot assignments in the type table.
-    vtables: Vec<Vec<(ClassId, u32)>>,
+    pub(crate) vtables: Vec<Vec<(ClassId, u32)>>,
     /// Per-class flattened instance-field default values.
     field_defaults: Vec<Vec<Value>>,
     exc: ExcClasses,
-    string_class: ClassId,
+    pub(crate) string_class: ClassId,
     /// Interned string literals.
     str_pool: HashMap<String, HeapRef>,
     /// The heap.
@@ -245,42 +290,56 @@ pub struct Vm<'m> {
     /// Instructions executed (for benchmarks).
     pub steps: u64,
     /// Current guest call depth.
-    depth: u32,
+    pub(crate) depth: u32,
     /// Deepest guest call depth observed (for the resource report).
-    peak_depth: u32,
+    pub(crate) peak_depth: u32,
     /// Call-depth budget, if any.
-    max_depth: Option<u32>,
+    pub(crate) max_depth: Option<u32>,
     /// Wall-clock deadline, checked every [`DEADLINE_SLICE`] executed
     /// instructions (the "fuel slice"): the dispatch loop stays free of
     /// clock reads except at slice boundaries, so an unset deadline
     /// costs one predictable branch per instruction.
-    deadline: Option<Instant>,
+    pub(crate) deadline: Option<Instant>,
     /// Whether the dispatch loop counts down fuel slices at all — true
     /// when a deadline is set or the profiler is on. Both piggyback on
     /// the same slice countdown, so their combined per-instruction cost
     /// is still one predictable branch.
-    slice_active: bool,
+    pub(crate) slice_active: bool,
     /// Instructions remaining in the current deadline slice.
-    slice_left: u32,
+    pub(crate) slice_left: u32,
     /// Slice-boundary clock reads performed (resource-report quantity).
-    deadline_checks: u64,
+    pub(crate) deadline_checks: u64,
     /// Fuel slices between profiler samples (0 = profiler off).
-    profile_every: u32,
+    pub(crate) profile_every: u32,
     /// Slices remaining until the next profiler sample.
-    profile_countdown: u32,
+    pub(crate) profile_countdown: u32,
     /// Ring of the most recently executed opcode mnemonics (the
     /// profiler's opcode window), maintained only while profiling.
-    profile_ring: [&'static str; PROFILE_WINDOW],
+    pub(crate) profile_ring: [&'static str; PROFILE_WINDOW],
     /// Valid entries in `profile_ring` (saturates at the window size).
-    profile_ring_len: u8,
+    pub(crate) profile_ring_len: u8,
     /// Next write position in `profile_ring`.
-    profile_ring_idx: u8,
+    pub(crate) profile_ring_idx: u8,
     /// The sampling profile (empty until [`Vm::enable_profiler`]).
-    profile: VmProfile,
+    pub(crate) profile: VmProfile,
     /// Whether the dispatch loop updates [`VmStats`].
-    collect_stats: bool,
+    pub(crate) collect_stats: bool,
     /// Dynamic counters (empty until [`Vm::enable_stats`]).
-    stats: VmStats,
+    pub(crate) stats: VmStats,
+    /// Which execution core `call` dispatches into.
+    pub(crate) engine: Engine,
+    /// Lazily decoded direct-threaded code, one slot per function
+    /// (`Rc` so the executing loop can hold the code while ops mutate
+    /// the VM).
+    pub(crate) tcode: Vec<Option<std::rc::Rc<crate::threaded::TFunc>>>,
+    /// `xdispatch` inline-cache guard hits (threaded engine only).
+    pub(crate) icache_hits: u64,
+    /// `xdispatch` inline-cache guard misses, i.e. vtable walks
+    /// (threaded engine only).
+    pub(crate) icache_misses: u64,
+    /// Reusable staging buffer for the threaded engine's parallel phi
+    /// copies.
+    pub(crate) moves_scratch: Vec<Value>,
 }
 
 struct Frame {
@@ -416,6 +475,11 @@ impl<'m> Vm<'m> {
             profile: VmProfile::default(),
             collect_stats: false,
             stats: VmStats::default(),
+            engine: Engine::default(),
+            tcode: vec![None; module.functions.len()],
+            icache_hits: 0,
+            icache_misses: 0,
+            moves_scratch: Vec::new(),
         };
         // Typed defaults for statics, then run the static initializers.
         for i in 0..n {
@@ -515,6 +579,29 @@ impl<'m> Vm<'m> {
         self.peak_depth
     }
 
+    /// Selects the execution core for subsequent calls. Both engines
+    /// implement identical guest semantics; [`Engine::Threaded`] is the
+    /// default, [`Engine::Switch`] is the differential oracle.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected execution core.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// `xdispatch` inline-cache guard hits so far (threaded engine;
+    /// always zero under the switch oracle).
+    pub fn icache_hits(&self) -> u64 {
+        self.icache_hits
+    }
+
+    /// `xdispatch` inline-cache guard misses (vtable walks) so far.
+    pub fn icache_misses(&self) -> u64 {
+        self.icache_misses
+    }
+
     /// Turns on dynamic statistics collection (opcode histogram, check
     /// and allocation counters). Off by default so uninstrumented runs
     /// pay only one branch per instruction.
@@ -548,6 +635,10 @@ impl<'m> Vm<'m> {
         }
         tm.set("vm.heap.bytes_allocated", self.heap.bytes_allocated());
         tm.set("vm.heap.objects", self.heap.len() as u64);
+        if self.engine == Engine::Threaded {
+            tm.set("vm.icache.hits", self.icache_hits);
+            tm.set("vm.icache.misses", self.icache_misses);
+        }
         if self.collect_stats {
             tm.set("vm.calls", self.stats.calls);
             tm.set("vm.dynamic_checks.null", self.stats.null_checks);
@@ -557,6 +648,9 @@ impl<'m> Vm<'m> {
             tm.set("vm.exceptions", self.stats.exceptions);
             for (op, n) in &self.stats.opcodes {
                 tm.set(&format!("vm.opcodes.{op}"), *n);
+            }
+            for (pair, n) in &self.stats.fused {
+                tm.set(&format!("vm.dispatch.fused.{pair}"), *n);
             }
         }
     }
@@ -603,6 +697,9 @@ impl<'m> Vm<'m> {
     }
 
     fn call_inner(&mut self, fid: FuncId, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        if self.engine == Engine::Threaded {
+            return self.call_threaded(fid, args);
+        }
         let module: &'m Module = self.module;
         let f = module.function(fid);
         let mut frame = Frame {
@@ -625,7 +722,7 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn literal(&mut self, lit: &Literal) -> Result<Value, Trap> {
+    pub(crate) fn literal(&mut self, lit: &Literal) -> Result<Value, Trap> {
         Ok(match lit {
             Literal::Bool(b) => Value::Z(*b),
             Literal::Char(c) => Value::C(*c),
@@ -737,7 +834,7 @@ impl<'m> Vm<'m> {
     /// The exception instance itself is allocated on the host-reserved
     /// path — in particular, materialising an `OutOfMemoryError` must
     /// not itself run out of memory.
-    fn trap_to_object(&mut self, trap: Trap) -> Result<HeapRef, Trap> {
+    pub(crate) fn trap_to_object(&mut self, trap: Trap) -> Result<HeapRef, Trap> {
         if self.collect_stats {
             self.stats.exceptions += 1;
         }
@@ -756,7 +853,7 @@ impl<'m> Vm<'m> {
     }
 
     /// Budget-governed instance allocation (`new` in guest code).
-    fn alloc_instance(&mut self, class: ClassId) -> Result<HeapRef, Trap> {
+    pub(crate) fn alloc_instance(&mut self, class: ClassId) -> Result<HeapRef, Trap> {
         if self.collect_stats {
             self.stats.objects_allocated += 1;
         }
@@ -833,7 +930,7 @@ impl<'m> Vm<'m> {
                                     % PROFILE_WINDOW;
                                 *slot = self.profile_ring[src];
                             }
-                            self.profile.sample(f, &window[..n]);
+                            self.profile.sample(&f.name, &window[..n]);
                         }
                     }
                     if let Some(deadline) = self.deadline {
@@ -845,12 +942,10 @@ impl<'m> Vm<'m> {
                 }
             }
             if self.collect_stats {
+                // The check counters (`null_checks`/`index_checks`) are
+                // attributed inside `step`'s match arms — one walk over
+                // the instruction, not two.
                 *self.stats.opcodes.entry(instr.mnemonic()).or_insert(0) += 1;
-                match instr {
-                    Instr::NullCheck { .. } => self.stats.null_checks += 1,
-                    Instr::IndexCheck { .. } => self.stats.index_checks += 1,
-                    _ => {}
-                }
             }
             let result = self.step(frame, instr)?;
             if let Some(v) = result {
@@ -877,6 +972,9 @@ impl<'m> Vm<'m> {
                 prim_eval(kind, desc.name, &a).map(Some)
             }
             Instr::NullCheck { value, .. } => {
+                if self.collect_stats {
+                    self.stats.null_checks += 1;
+                }
                 let v = frame_get(frame, *value)?;
                 match v.as_ref() {
                     None => Err(Trap::NullPointer),
@@ -884,6 +982,9 @@ impl<'m> Vm<'m> {
                 }
             }
             Instr::IndexCheck { array, index, .. } => {
+                if self.collect_stats {
+                    self.stats.index_checks += 1;
+                }
                 let arr = frame_get(frame, *array)?.as_ref().ok_or(Trap::NullPointer)?;
                 let i = frame_get(frame, *index)?.as_i();
                 let len = match self.heap.get(arr) {
@@ -1052,7 +1153,7 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn instance_field_slot(&self, field: &safetsa_core::types::FieldRef) -> Result<usize, Trap> {
+    pub(crate) fn instance_field_slot(&self, field: &safetsa_core::types::FieldRef) -> Result<usize, Trap> {
         // Flattened slot: base of declaring class + index among its
         // instance fields.
         let class = field.class;
@@ -1066,7 +1167,7 @@ impl<'m> Vm<'m> {
 
     /// The element storage width in bytes of an array type, used to
     /// project allocation size before the elements exist.
-    fn array_elem_width(&self, arr_ty: TypeId) -> Result<u64, Trap> {
+    pub(crate) fn array_elem_width(&self, arr_ty: TypeId) -> Result<u64, Trap> {
         let elem = self
             .module
             .types
@@ -1080,7 +1181,7 @@ impl<'m> Vm<'m> {
         })
     }
 
-    fn fresh_array_data(&self, arr_ty: TypeId, len: usize) -> Result<ArrData, Trap> {
+    pub(crate) fn fresh_array_data(&self, arr_ty: TypeId, len: usize) -> Result<ArrData, Trap> {
         let elem = self
             .module
             .types
@@ -1099,7 +1200,7 @@ impl<'m> Vm<'m> {
 
     /// `instanceof`/cast test for a heap reference against a reference
     /// type (class or array).
-    fn ref_is_instance_of(&self, r: HeapRef, target: TypeId) -> bool {
+    pub(crate) fn ref_is_instance_of(&self, r: HeapRef, target: TypeId) -> bool {
         let types = &self.module.types;
         match (self.heap.get(r), types.kind(target)) {
             (Obj::Instance { class, .. }, TypeKind::Class(t)) => {
@@ -1112,7 +1213,7 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn invoke_static_target(
+    pub(crate) fn invoke_static_target(
         &mut self,
         method: MethodRef,
         recv: Option<Value>,
@@ -1134,7 +1235,7 @@ impl<'m> Vm<'m> {
         self.invoke_intrinsic(method.class, method, recv, &args)
     }
 
-    fn invoke_virtual(
+    pub(crate) fn invoke_virtual(
         &mut self,
         method: MethodRef,
         recv: Value,
@@ -1174,7 +1275,7 @@ impl<'m> Vm<'m> {
         self.invoke_intrinsic(impl_class, target, Some(recv), &args)
     }
 
-    fn invoke_intrinsic(
+    pub(crate) fn invoke_intrinsic(
         &mut self,
         class: ClassId,
         method: MethodRef,
@@ -1199,7 +1300,7 @@ impl<'m> Vm<'m> {
     }
 }
 
-fn sig_letter(types: &safetsa_core::TypeTable, ty: TypeId) -> char {
+pub(crate) fn sig_letter(types: &safetsa_core::TypeTable, ty: TypeId) -> char {
     match types.kind(ty) {
         TypeKind::Prim(PrimKind::Bool) => 'Z',
         TypeKind::Prim(PrimKind::Char) => 'C',

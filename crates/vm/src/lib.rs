@@ -29,5 +29,6 @@
 #![warn(missing_docs)]
 
 mod interp;
+mod threaded;
 
-pub use interp::{ResourceLimits, Vm, VmError, VmProfile, VmStats, DEADLINE_SLICE};
+pub use interp::{Engine, ResourceLimits, Vm, VmError, VmProfile, VmStats, DEADLINE_SLICE};

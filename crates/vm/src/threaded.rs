@@ -1,0 +1,1932 @@
+//! The direct-threaded execution core.
+//!
+//! At first call, each function's verified SSA stream is *decoded*:
+//! the Control Structure Tree is flattened into a linear array of
+//! [`Op`]s with branch targets as array indices, operands resolved to
+//! dense frame slots, phi parallel-copies pre-resolved per static edge
+//! into explicit [`Op::Moves`], and field/method references resolved to
+//! layout slots and call targets. The dispatch loop is a single match
+//! over a dense op enum (a jump table), instead of the tree-walking
+//! `match` over [`safetsa_core::instr::Instr`] in `interp.rs`.
+//!
+//! Three optimizations ride on the decoded form (see DESIGN.md
+//! "Interpreter architecture"):
+//!
+//! * **Superinstruction fusion** — the top opcode pairs from the corpus
+//!   profiler histogram (nullcheck+getfield, indexcheck+getelt, cmp+
+//!   branch, …) are fused at decode time into single ops that do both
+//!   steps with one dispatch and, for the check fusions, one heap
+//!   lookup instead of two. A fused op still writes the check's SSA
+//!   result (later instructions may use it) and still counts both
+//!   constituents in the opcode histogram.
+//! * **Monomorphic inline caches** — each decoded `xdispatch` site
+//!   caches (runtime class → resolved target). The guard compares the
+//!   receiver's runtime class id; vtables and intrinsic bindings are
+//!   immutable after load, so the cache never needs invalidation and a
+//!   hit is always sound. Misses fall back to the vtable walk and
+//!   re-fill the cache (always-replace, so megamorphic sites degrade to
+//!   the old path plus one compare).
+//! * **Block-granularity fuel** — fuel is charged once per basic block
+//!   (its charged-op count) at block entry instead of per instruction.
+//!   A run completes iff fuel ≥ total charged steps, exactly as the
+//!   switch engine observes on its own accounting; on trap paths the
+//!   threaded engine may charge up to blocklen−1 instructions that the
+//!   switch engine would not have reached (the documented bounded
+//!   overshoot — never the other direction, so fuel remains a hard
+//!   ceiling).
+
+use crate::interp::{Engine, Vm, DEADLINE_SLICE, PROFILE_WINDOW};
+use safetsa_core::cst::Cst;
+use safetsa_core::function::{Function, ENTRY};
+use safetsa_core::instr::Instr;
+use safetsa_core::module::FuncId;
+use safetsa_core::primops;
+use safetsa_core::types::{ClassId, MethodKind, MethodRef, PrimKind, TypeId, TypeKind};
+use safetsa_core::value::{BlockId, Literal};
+use safetsa_rt::heap::Obj;
+use safetsa_rt::{intrinsics, HeapRef, Trap, Value};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A dense frame-slot index (the raw `ValueId`).
+type Slot = u32;
+
+/// Sentinel slot for "no receiver" / "no result".
+const NO_SLOT: Slot = u32::MAX;
+
+/// Unary primitive operation, pre-resolved to a function pointer.
+type PrimFn1 = fn(Value) -> Result<Value, Trap>;
+
+/// Binary primitive operation, pre-resolved to a function pointer.
+type PrimFn2 = fn(Value, Value) -> Result<Value, Trap>;
+
+/// `int` comparison predicate (the cmp half of the fused cmp+branch).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn cmp_pred(name: &str) -> Option<CmpPred> {
+    Some(match name {
+        "eq" => CmpPred::Eq,
+        "ne" => CmpPred::Ne,
+        "lt" => CmpPred::Lt,
+        "le" => CmpPred::Le,
+        "gt" => CmpPred::Gt,
+        "ge" => CmpPred::Ge,
+        _ => return None,
+    })
+}
+
+#[inline]
+fn cmp_eval(pred: CmpPred, x: i32, y: i32) -> bool {
+    match pred {
+        CmpPred::Eq => x == y,
+        CmpPred::Ne => x != y,
+        CmpPred::Lt => x < y,
+        CmpPred::Le => x <= y,
+        CmpPred::Gt => x > y,
+        CmpPred::Ge => x >= y,
+    }
+}
+
+/// Unary primitive decode table. Mirrors `interp::prim_eval` exactly
+/// (wrapping integer arithmetic, `as`-conversions); the op names come
+/// from the trusted `primops` tables, so the fallback arm is
+/// unreachable for verified modules.
+fn un_fn(kind: PrimKind, name: &'static str) -> PrimFn1 {
+    use PrimKind::*;
+    match (kind, name) {
+        (Bool, "not") => |a| Ok(Value::Z(!a.as_z())),
+        (Char, "to_int") => |a| Ok(Value::I(a.as_c() as i32)),
+        (Int, "neg") => |a| Ok(Value::I(a.as_i().wrapping_neg())),
+        (Int, "not") => |a| Ok(Value::I(!a.as_i())),
+        (Int, "to_char") => |a| Ok(Value::C(a.as_i() as u16)),
+        (Int, "to_long") => |a| Ok(Value::J(a.as_i() as i64)),
+        (Int, "to_float") => |a| Ok(Value::F(a.as_i() as f32)),
+        (Int, "to_double") => |a| Ok(Value::D(a.as_i() as f64)),
+        (Long, "neg") => |a| Ok(Value::J(a.as_j().wrapping_neg())),
+        (Long, "not") => |a| Ok(Value::J(!a.as_j())),
+        (Long, "to_int") => |a| Ok(Value::I(a.as_j() as i32)),
+        (Long, "to_float") => |a| Ok(Value::F(a.as_j() as f32)),
+        (Long, "to_double") => |a| Ok(Value::D(a.as_j() as f64)),
+        (Float, "neg") => |a| Ok(Value::F(-a.as_f())),
+        (Float, "to_int") => |a| Ok(Value::I(a.as_f() as i32)),
+        (Float, "to_long") => |a| Ok(Value::J(a.as_f() as i64)),
+        (Float, "to_double") => |a| Ok(Value::D(a.as_f() as f64)),
+        (Double, "neg") => |a| Ok(Value::D(-a.as_d())),
+        (Double, "to_int") => |a| Ok(Value::I(a.as_d() as i32)),
+        (Double, "to_long") => |a| Ok(Value::J(a.as_d() as i64)),
+        (Double, "to_float") => |a| Ok(Value::F(a.as_d() as f32)),
+        _ => |_| Err(Trap::Internal("unknown unary primop".into())),
+    }
+}
+
+/// Binary primitive decode table; same semantics as `interp::prim_eval`
+/// (div/rem trap DivByZero, int shifts mask to 5 bits, long shifts take
+/// an `int` amount masked to 6 bits).
+fn bin_fn(kind: PrimKind, name: &'static str) -> PrimFn2 {
+    use PrimKind::*;
+    match (kind, name) {
+        (Bool, "and") => |a, b| Ok(Value::Z(a.as_z() & b.as_z())),
+        (Bool, "or") => |a, b| Ok(Value::Z(a.as_z() | b.as_z())),
+        (Bool, "xor") => |a, b| Ok(Value::Z(a.as_z() ^ b.as_z())),
+        (Bool, "eq") => |a, b| Ok(Value::Z(a.as_z() == b.as_z())),
+        (Bool, "ne") => |a, b| Ok(Value::Z(a.as_z() != b.as_z())),
+        (Char, "eq") => |a, b| Ok(Value::Z(a.as_c() == b.as_c())),
+        (Char, "ne") => |a, b| Ok(Value::Z(a.as_c() != b.as_c())),
+        (Char, "lt") => |a, b| Ok(Value::Z(a.as_c() < b.as_c())),
+        (Char, "le") => |a, b| Ok(Value::Z(a.as_c() <= b.as_c())),
+        (Char, "gt") => |a, b| Ok(Value::Z(a.as_c() > b.as_c())),
+        (Char, "ge") => |a, b| Ok(Value::Z(a.as_c() >= b.as_c())),
+        (Int, "add") => |a, b| Ok(Value::I(a.as_i().wrapping_add(b.as_i()))),
+        (Int, "sub") => |a, b| Ok(Value::I(a.as_i().wrapping_sub(b.as_i()))),
+        (Int, "mul") => |a, b| Ok(Value::I(a.as_i().wrapping_mul(b.as_i()))),
+        (Int, "div") => |a, b| {
+            let y = b.as_i();
+            if y == 0 {
+                return Err(Trap::DivByZero);
+            }
+            Ok(Value::I(a.as_i().wrapping_div(y)))
+        },
+        (Int, "rem") => |a, b| {
+            let y = b.as_i();
+            if y == 0 {
+                return Err(Trap::DivByZero);
+            }
+            Ok(Value::I(a.as_i().wrapping_rem(y)))
+        },
+        (Int, "and") => |a, b| Ok(Value::I(a.as_i() & b.as_i())),
+        (Int, "or") => |a, b| Ok(Value::I(a.as_i() | b.as_i())),
+        (Int, "xor") => |a, b| Ok(Value::I(a.as_i() ^ b.as_i())),
+        (Int, "shl") => |a, b| Ok(Value::I(a.as_i().wrapping_shl(b.as_i() as u32 & 31))),
+        (Int, "shr") => |a, b| Ok(Value::I(a.as_i().wrapping_shr(b.as_i() as u32 & 31))),
+        (Int, "ushr") => {
+            |a, b| Ok(Value::I(((a.as_i() as u32) >> (b.as_i() as u32 & 31)) as i32))
+        }
+        (Int, "eq") => |a, b| Ok(Value::Z(a.as_i() == b.as_i())),
+        (Int, "ne") => |a, b| Ok(Value::Z(a.as_i() != b.as_i())),
+        (Int, "lt") => |a, b| Ok(Value::Z(a.as_i() < b.as_i())),
+        (Int, "le") => |a, b| Ok(Value::Z(a.as_i() <= b.as_i())),
+        (Int, "gt") => |a, b| Ok(Value::Z(a.as_i() > b.as_i())),
+        (Int, "ge") => |a, b| Ok(Value::Z(a.as_i() >= b.as_i())),
+        (Long, "add") => |a, b| Ok(Value::J(a.as_j().wrapping_add(b.as_j()))),
+        (Long, "sub") => |a, b| Ok(Value::J(a.as_j().wrapping_sub(b.as_j()))),
+        (Long, "mul") => |a, b| Ok(Value::J(a.as_j().wrapping_mul(b.as_j()))),
+        (Long, "div") => |a, b| {
+            let y = b.as_j();
+            if y == 0 {
+                return Err(Trap::DivByZero);
+            }
+            Ok(Value::J(a.as_j().wrapping_div(y)))
+        },
+        (Long, "rem") => |a, b| {
+            let y = b.as_j();
+            if y == 0 {
+                return Err(Trap::DivByZero);
+            }
+            Ok(Value::J(a.as_j().wrapping_rem(y)))
+        },
+        (Long, "and") => |a, b| Ok(Value::J(a.as_j() & b.as_j())),
+        (Long, "or") => |a, b| Ok(Value::J(a.as_j() | b.as_j())),
+        (Long, "xor") => |a, b| Ok(Value::J(a.as_j() ^ b.as_j())),
+        (Long, "shl") => |a, b| Ok(Value::J(a.as_j().wrapping_shl(b.as_i() as u32 & 63))),
+        (Long, "shr") => |a, b| Ok(Value::J(a.as_j().wrapping_shr(b.as_i() as u32 & 63))),
+        (Long, "ushr") => {
+            |a, b| Ok(Value::J(((a.as_j() as u64) >> (b.as_i() as u32 & 63)) as i64))
+        }
+        (Long, "eq") => |a, b| Ok(Value::Z(a.as_j() == b.as_j())),
+        (Long, "ne") => |a, b| Ok(Value::Z(a.as_j() != b.as_j())),
+        (Long, "lt") => |a, b| Ok(Value::Z(a.as_j() < b.as_j())),
+        (Long, "le") => |a, b| Ok(Value::Z(a.as_j() <= b.as_j())),
+        (Long, "gt") => |a, b| Ok(Value::Z(a.as_j() > b.as_j())),
+        (Long, "ge") => |a, b| Ok(Value::Z(a.as_j() >= b.as_j())),
+        (Float, "add") => |a, b| Ok(Value::F(a.as_f() + b.as_f())),
+        (Float, "sub") => |a, b| Ok(Value::F(a.as_f() - b.as_f())),
+        (Float, "mul") => |a, b| Ok(Value::F(a.as_f() * b.as_f())),
+        (Float, "div") => |a, b| Ok(Value::F(a.as_f() / b.as_f())),
+        (Float, "rem") => |a, b| Ok(Value::F(a.as_f() % b.as_f())),
+        (Float, "eq") => |a, b| Ok(Value::Z(a.as_f() == b.as_f())),
+        (Float, "ne") => |a, b| Ok(Value::Z(a.as_f() != b.as_f())),
+        (Float, "lt") => |a, b| Ok(Value::Z(a.as_f() < b.as_f())),
+        (Float, "le") => |a, b| Ok(Value::Z(a.as_f() <= b.as_f())),
+        (Float, "gt") => |a, b| Ok(Value::Z(a.as_f() > b.as_f())),
+        (Float, "ge") => |a, b| Ok(Value::Z(a.as_f() >= b.as_f())),
+        (Double, "add") => |a, b| Ok(Value::D(a.as_d() + b.as_d())),
+        (Double, "sub") => |a, b| Ok(Value::D(a.as_d() - b.as_d())),
+        (Double, "mul") => |a, b| Ok(Value::D(a.as_d() * b.as_d())),
+        (Double, "div") => |a, b| Ok(Value::D(a.as_d() / b.as_d())),
+        (Double, "rem") => |a, b| Ok(Value::D(a.as_d() % b.as_d())),
+        (Double, "eq") => |a, b| Ok(Value::Z(a.as_d() == b.as_d())),
+        (Double, "ne") => |a, b| Ok(Value::Z(a.as_d() != b.as_d())),
+        (Double, "lt") => |a, b| Ok(Value::Z(a.as_d() < b.as_d())),
+        (Double, "le") => |a, b| Ok(Value::Z(a.as_d() <= b.as_d())),
+        (Double, "gt") => |a, b| Ok(Value::Z(a.as_d() > b.as_d())),
+        (Double, "ge") => |a, b| Ok(Value::Z(a.as_d() >= b.as_d())),
+        _ => |_, _| Err(Trap::Internal("unknown binary primop".into())),
+    }
+}
+
+/// A resolved call target: a guest function body or a host intrinsic.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CallTarget {
+    /// Guest function body.
+    Func(FuncId),
+    /// Host intrinsic; `is_static` drops the receiver before invoke.
+    Intrinsic {
+        /// The resolved intrinsic.
+        id: intrinsics::Intrinsic,
+        /// Whether the target method is static.
+        is_static: bool,
+    },
+}
+
+/// Array element representation, pre-resolved from the element type.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ElemKind {
+    Z,
+    C,
+    I,
+    J,
+    F,
+    D,
+    R,
+}
+
+/// Per-block metadata: the *original* (pre-fusion) instruction
+/// mnemonics in execution order, both as a list (fed to the profiler
+/// ring so pair histograms stay engine-comparable) and aggregated (for
+/// the stats opcode histogram).
+pub(crate) struct BlockMeta {
+    /// Original mnemonics in order.
+    pub(crate) mnems: Box<[&'static str]>,
+    /// Aggregated mnemonic counts.
+    pub(crate) counts: Box<[(&'static str, u32)]>,
+}
+
+/// The `(dst, src)` parallel copies for one static predecessor block.
+type PredMoves = (u32, Box<[(Slot, Slot)]>);
+
+/// One exception-handler region: where to resume, and the handler-entry
+/// phi moves keyed by static predecessor block.
+#[derive(Default)]
+pub(crate) struct HandlerInfo {
+    /// Op index of the handler-entry block.
+    pub(crate) entry_pc: u32,
+    /// Whether the handler entry has phis at all (a faulting block with
+    /// no move entry is then an internal error, matching the switch
+    /// engine's missing-phi-arg trap).
+    pub(crate) has_phis: bool,
+    /// Per-predecessor `(dst, src)` parallel copies.
+    pub(crate) moves: Vec<PredMoves>,
+}
+
+/// One decoded direct-threaded op.
+pub(crate) enum Op {
+    /// Basic-block prologue: charges `cost` fuel (the block's charged-op
+    /// count), runs the slice/profiler countdown, applies stats.
+    Block { cost: u32, bi: u32 },
+    /// Unconditional jump.
+    Jump { t: u32 },
+    /// Fall through when the slot holds `true`, jump to `t` otherwise.
+    BranchFalse { cond: Slot, t: u32 },
+    /// Fused int-compare + branch: writes the compare result (it is an
+    /// SSA value later ops may read), then branches on it.
+    CmpBranchFalse {
+        pred: CmpPred,
+        a: Slot,
+        b: Slot,
+        dst: Slot,
+        t: u32,
+    },
+    /// Parallel phi copies for one static CFG edge.
+    Moves { pairs: Box<[(Slot, Slot)]> },
+    /// Return (`NO_SLOT` = void).
+    Ret { src: Slot },
+    /// `throw`: null receiver traps NullPointer, else a user trap.
+    Throw { src: Slot },
+    /// Enter a `try` region.
+    PushHandler { h: u32 },
+    /// Leave a `try` region on the normal path.
+    PopHandler,
+    /// Statically safe cast (downcast): a slot copy.
+    Copy { src: Slot, dst: Slot },
+    /// Unary primitive.
+    Prim1 { f: PrimFn1, a: Slot, dst: Slot },
+    /// Binary primitive.
+    Prim2 {
+        f: PrimFn2,
+        a: Slot,
+        b: Slot,
+        dst: Slot,
+    },
+    /// Fused pair of binary primitives (sequential: the first result is
+    /// written before the second op's operands are read).
+    Prim2Pair {
+        f1: PrimFn2,
+        a1: Slot,
+        b1: Slot,
+        d1: Slot,
+        f2: PrimFn2,
+        a2: Slot,
+        b2: Slot,
+        d2: Slot,
+    },
+    /// `int` comparison (kept separate so the If flattener can fuse it
+    /// into [`Op::CmpBranchFalse`]).
+    IntCmp {
+        pred: CmpPred,
+        a: Slot,
+        b: Slot,
+        dst: Slot,
+    },
+    /// Null check.
+    NullCheck { v: Slot, dst: Slot },
+    /// Field read through a pre-resolved layout slot.
+    GetField { obj: Slot, slot: u32, dst: Slot },
+    /// Fused nullcheck + getfield: one null test, one heap lookup.
+    NullGetField {
+        obj: Slot,
+        slot: u32,
+        chk: Slot,
+        dst: Slot,
+    },
+    /// Field write.
+    SetField { obj: Slot, slot: u32, val: Slot },
+    /// Fused nullcheck + setfield.
+    NullSetField {
+        obj: Slot,
+        slot: u32,
+        val: Slot,
+        chk: Slot,
+    },
+    /// Static-field read.
+    GetStatic { class: u32, idx: u32, dst: Slot },
+    /// Static-field write.
+    SetStatic { class: u32, idx: u32, val: Slot },
+    /// Bounds check.
+    IndexCheck { arr: Slot, idx: Slot, dst: Slot },
+    /// Array element read.
+    GetElt { arr: Slot, idx: Slot, dst: Slot },
+    /// Fused indexcheck + getelt: one heap lookup serves both the
+    /// bounds test and the element read.
+    IdxGetElt {
+        arr: Slot,
+        idx: Slot,
+        chk: Slot,
+        dst: Slot,
+    },
+    /// Array element write.
+    SetElt { arr: Slot, idx: Slot, val: Slot },
+    /// Fused indexcheck + setelt.
+    IdxSetElt {
+        arr: Slot,
+        idx: Slot,
+        val: Slot,
+        chk: Slot,
+    },
+    /// Array length read.
+    ArrayLength { arr: Slot, dst: Slot },
+    /// Class-instance allocation.
+    New { class: ClassId, dst: Slot },
+    /// Array allocation with pre-resolved element width and kind.
+    NewArray {
+        elem: ElemKind,
+        width: u64,
+        type_tag: u64,
+        len: Slot,
+        dst: Slot,
+    },
+    /// Dynamically checked cast.
+    Upcast { to: TypeId, v: Slot, dst: Slot },
+    /// Runtime type test.
+    InstanceOf { target: TypeId, v: Slot, dst: Slot },
+    /// Reference identity.
+    RefEq { a: Slot, b: Slot, dst: Slot },
+    /// Materialize the in-flight exception.
+    Catch { dst: Slot },
+    /// Statically bound call (`xcall`), target resolved at decode time.
+    Call {
+        target: CallTarget,
+        recv: Slot,
+        args: Box<[Slot]>,
+        dst: Slot,
+    },
+    /// Dynamic dispatch (`xdispatch`) with a monomorphic inline cache
+    /// keyed by the receiver's runtime class id.
+    Dispatch {
+        vslot: u32,
+        ic: Cell<Option<(u32, CallTarget)>>,
+        recv: Slot,
+        args: Box<[Slot]>,
+        dst: Slot,
+    },
+    /// Decode-time-unresolvable instruction: traps Internal when (if
+    /// ever) executed, matching the switch engine's runtime error.
+    Fail { msg: Box<str> },
+}
+
+/// A fully decoded function.
+pub(crate) struct TFunc {
+    /// Diagnostic name (for the profiler's hot-function table).
+    pub(crate) name: String,
+    /// Frame size in slots (the SSA value-table length).
+    pub(crate) nvals: usize,
+    /// Constant preloads: `(slot, literal)`.
+    pub(crate) consts: Vec<(Slot, Literal)>,
+    /// The decoded op array.
+    pub(crate) code: Vec<Op>,
+    /// Per-block metadata, indexed by the `bi` field of [`Op::Block`].
+    pub(crate) blocks: Vec<BlockMeta>,
+    /// `(op index, BlockId.0)` of every emitted block, sorted by op
+    /// index — binary-searched during unwinding to find the faulting
+    /// block (the dynamic predecessor of the handler entry).
+    pub(crate) block_starts: Vec<(u32, u32)>,
+    /// Exception-handler regions, indexed by [`Op::PushHandler`].
+    pub(crate) handlers: Vec<HandlerInfo>,
+}
+
+// ---------------------------------------------------------------------
+// Decoding: CST flattening + instruction decode + peephole fusion.
+// ---------------------------------------------------------------------
+
+enum Ctx {
+    Labeled { join: BlockId, patches: Vec<usize> },
+    Loop { header_pc: u32, header: BlockId },
+    Try,
+}
+
+struct Flattener<'a, 'm> {
+    vm: &'a Vm<'m>,
+    f: &'m Function,
+    code: Vec<Op>,
+    blocks: Vec<BlockMeta>,
+    block_starts: Vec<(u32, u32)>,
+    handlers: Vec<HandlerInfo>,
+    ctx: Vec<Ctx>,
+    cur: BlockId,
+}
+
+impl<'m> Vm<'m> {
+    /// The decoded form of `fid`, decoding (and caching) on first use.
+    pub(crate) fn tfunc(&mut self, fid: FuncId) -> Rc<TFunc> {
+        if let Some(tf) = &self.tcode[fid.index()] {
+            return tf.clone();
+        }
+        let f = self.module.function(fid);
+        let tf = Rc::new(decode_function(self, f));
+        self.tcode[fid.index()] = Some(tf.clone());
+        tf
+    }
+}
+
+fn decode_function<'m>(vm: &Vm<'m>, f: &'m Function) -> TFunc {
+    let mut fl = Flattener {
+        vm,
+        f,
+        code: Vec::new(),
+        blocks: Vec::new(),
+        block_starts: Vec::new(),
+        handlers: Vec::new(),
+        ctx: Vec::new(),
+        cur: ENTRY,
+    };
+    if fl.emit(&f.body) {
+        fl.code.push(Op::Ret { src: NO_SLOT });
+    }
+    let consts = f
+        .consts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (f.const_value(i).0, c.lit.clone()))
+        .collect();
+    TFunc {
+        name: f.name.clone(),
+        nvals: f.values.len(),
+        consts,
+        code: fl.code,
+        blocks: fl.blocks,
+        block_starts: fl.block_starts,
+        handlers: fl.handlers,
+    }
+}
+
+impl<'a, 'm> Flattener<'a, 'm> {
+    fn push_jump(&mut self) -> usize {
+        self.code.push(Op::Jump { t: 0 });
+        self.code.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Op::Jump { t } | Op::BranchFalse { t, .. } | Op::CmpBranchFalse { t, .. } => {
+                *t = target;
+            }
+            _ => unreachable!("patch target is not a branch"),
+        }
+    }
+
+    /// Emits the phi parallel copies for the static edge `from → to`.
+    fn emit_moves(&mut self, from: BlockId, to: BlockId) {
+        let block = self.f.block(to);
+        if block.phis.is_empty() {
+            return;
+        }
+        let mut pairs = Vec::with_capacity(block.phis.len());
+        for (k, phi) in block.phis.iter().enumerate() {
+            match phi.arg_from(from) {
+                Some(a) => pairs.push((self.f.phi_result(to, k).0, a.0)),
+                None => {
+                    self.code.push(Op::Fail {
+                        msg: format!("phi in {to} has no arg from {from}").into(),
+                    });
+                    return;
+                }
+            }
+        }
+        self.code.push(Op::Moves {
+            pairs: pairs.into_boxed_slice(),
+        });
+    }
+
+    /// Emits a block: the [`Op::Block`] prologue, then the decoded
+    /// instructions with peephole superinstruction fusion. The block's
+    /// fuel cost is its *charged* op count — each fusion folds two
+    /// charges into one, which is exactly the vm_steps reduction the
+    /// bench gate tracks.
+    fn emit_block_body(&mut self, b: BlockId) {
+        self.block_starts.push((self.code.len() as u32, b.0));
+        let bi = self.blocks.len() as u32;
+        let block_op_at = self.code.len();
+        self.code.push(Op::Block { cost: 0, bi });
+        let block = self.f.block(b);
+        let mut charged: u32 = 0;
+        for (k, instr) in block.instrs.iter().enumerate() {
+            let dst = self
+                .f
+                .instr_result(b, k)
+                .map(|v| v.0)
+                .unwrap_or(NO_SLOT);
+            let op = self.decode(instr, dst);
+            charged += 1;
+            if charged >= 2 {
+                if let Some(fused) = try_fuse(self.code.last().expect("nonempty"), &op) {
+                    self.code.pop();
+                    self.code.push(fused);
+                    charged -= 1;
+                    continue;
+                }
+            }
+            self.code.push(op);
+        }
+        let mnems: Box<[&'static str]> = block.instrs.iter().map(|i| i.mnemonic()).collect();
+        let mut counts: Vec<(&'static str, u32)> = Vec::new();
+        for &m in mnems.iter() {
+            match counts.iter_mut().find(|(n, _)| *n == m) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((m, 1)),
+            }
+        }
+        self.blocks.push(BlockMeta {
+            mnems,
+            counts: counts.into_boxed_slice(),
+        });
+        if let Op::Block { cost, .. } = &mut self.code[block_op_at] {
+            *cost = charged;
+        }
+        self.cur = b;
+    }
+
+    /// Emits a CST node; returns whether control falls through it.
+    fn emit(&mut self, cst: &'m Cst) -> bool {
+        match cst {
+            Cst::Basic(b) => {
+                self.emit_moves(self.cur, *b);
+                self.emit_block_body(*b);
+                true
+            }
+            Cst::Seq(items) => {
+                for c in items {
+                    if !self.emit(c) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Cst::If {
+                cond,
+                then_br,
+                else_br,
+                join,
+            } => {
+                // cmp+branch fusion: if the preceding op is the int
+                // compare producing this condition, merge them. The
+                // compare stays charged in its block's cost and still
+                // writes its SSA result.
+                if let Some(Op::IntCmp { dst, .. }) = self.code.last() {
+                    if *dst == cond.0 {
+                        let Some(Op::IntCmp { pred, a, b, dst }) = self.code.pop() else {
+                            unreachable!()
+                        };
+                        self.code.push(Op::CmpBranchFalse {
+                            pred,
+                            a,
+                            b,
+                            dst,
+                            t: 0,
+                        });
+                    } else {
+                        self.code.push(Op::BranchFalse { cond: cond.0, t: 0 });
+                    }
+                } else {
+                    self.code.push(Op::BranchFalse { cond: cond.0, t: 0 });
+                }
+                let branch_at = self.code.len() - 1;
+                let saved = self.cur;
+                let ft_then = self.emit(then_br);
+                let mut then_jump = None;
+                if ft_then {
+                    self.emit_moves(self.cur, *join);
+                    then_jump = Some(self.push_jump());
+                }
+                let else_start = self.code.len() as u32;
+                self.patch(branch_at, else_start);
+                self.cur = saved;
+                let ft_else = self.emit(else_br);
+                if ft_else {
+                    self.emit_moves(self.cur, *join);
+                }
+                if ft_then || ft_else {
+                    if let Some(j) = then_jump {
+                        let here = self.code.len() as u32;
+                        self.patch(j, here);
+                    }
+                    self.emit_block_body(*join);
+                    true
+                } else {
+                    false
+                }
+            }
+            Cst::Loop { header, body } => {
+                self.emit_moves(self.cur, *header);
+                let header_pc = self.code.len() as u32;
+                self.emit_block_body(*header);
+                self.ctx.push(Ctx::Loop {
+                    header_pc,
+                    header: *header,
+                });
+                if self.emit(body) {
+                    self.emit_moves(self.cur, *header);
+                    self.code.push(Op::Jump { t: header_pc });
+                }
+                self.ctx.pop();
+                false
+            }
+            Cst::Labeled { body, join } => {
+                self.ctx.push(Ctx::Labeled {
+                    join: *join,
+                    patches: Vec::new(),
+                });
+                let ft = self.emit(body);
+                if ft {
+                    self.emit_moves(self.cur, *join);
+                }
+                let Some(Ctx::Labeled { patches, .. }) = self.ctx.pop() else {
+                    unreachable!()
+                };
+                if ft || !patches.is_empty() {
+                    let here = self.code.len() as u32;
+                    for p in patches {
+                        self.patch(p, here);
+                    }
+                    self.emit_block_body(*join);
+                    true
+                } else {
+                    false
+                }
+            }
+            Cst::Break(n) => {
+                let mut seen = 0u32;
+                let mut target = None;
+                for (i, c) in self.ctx.iter().enumerate().rev() {
+                    if matches!(c, Ctx::Labeled { .. }) {
+                        if seen == *n {
+                            target = Some(i);
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+                let Some(ti) = target else {
+                    self.code.push(Op::Fail {
+                        msg: "break without target".into(),
+                    });
+                    return false;
+                };
+                // Leaving any try region between here and the target
+                // deactivates its handler.
+                let pops = self.ctx[ti + 1..]
+                    .iter()
+                    .filter(|c| matches!(c, Ctx::Try))
+                    .count();
+                for _ in 0..pops {
+                    self.code.push(Op::PopHandler);
+                }
+                let Ctx::Labeled { join, .. } = self.ctx[ti] else {
+                    unreachable!()
+                };
+                self.emit_moves(self.cur, join);
+                let j = self.push_jump();
+                let Ctx::Labeled { patches, .. } = &mut self.ctx[ti] else {
+                    unreachable!()
+                };
+                patches.push(j);
+                false
+            }
+            Cst::Continue(n) => {
+                let mut seen = 0u32;
+                let mut target = None;
+                for (i, c) in self.ctx.iter().enumerate().rev() {
+                    if matches!(c, Ctx::Loop { .. }) {
+                        if seen == *n {
+                            target = Some(i);
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+                let Some(ti) = target else {
+                    self.code.push(Op::Fail {
+                        msg: "continue without target".into(),
+                    });
+                    return false;
+                };
+                let pops = self.ctx[ti + 1..]
+                    .iter()
+                    .filter(|c| matches!(c, Ctx::Try))
+                    .count();
+                for _ in 0..pops {
+                    self.code.push(Op::PopHandler);
+                }
+                let Ctx::Loop { header_pc, header } = self.ctx[ti] else {
+                    unreachable!()
+                };
+                self.emit_moves(self.cur, header);
+                self.code.push(Op::Jump { t: header_pc });
+                false
+            }
+            Cst::Return(v) => {
+                self.code.push(Op::Ret {
+                    src: v.map(|v| v.0).unwrap_or(NO_SLOT),
+                });
+                false
+            }
+            Cst::Throw(v) => {
+                self.code.push(Op::Throw { src: v.0 });
+                false
+            }
+            Cst::Try {
+                body,
+                handler_entry,
+                handler,
+                join,
+            } => {
+                let h = self.handlers.len() as u32;
+                self.handlers.push(HandlerInfo::default());
+                self.code.push(Op::PushHandler { h });
+                self.ctx.push(Ctx::Try);
+                let ft_body = self.emit(body);
+                self.ctx.pop();
+                let mut body_jump = None;
+                if ft_body {
+                    self.code.push(Op::PopHandler);
+                    self.emit_moves(self.cur, *join);
+                    body_jump = Some(self.push_jump());
+                }
+                // Handler entry: control arrives only via unwinding,
+                // which applies the phi moves for the faulting block
+                // before jumping here.
+                let entry_pc = self.code.len() as u32;
+                let hb = self.f.block(*handler_entry);
+                let mut preds: Vec<BlockId> = Vec::new();
+                for phi in &hb.phis {
+                    for (p, _) in &phi.args {
+                        if !preds.contains(p) {
+                            preds.push(*p);
+                        }
+                    }
+                }
+                let mut moves = Vec::new();
+                for p in preds {
+                    let mut pairs = Vec::with_capacity(hb.phis.len());
+                    let mut complete = true;
+                    for (k, phi) in hb.phis.iter().enumerate() {
+                        match phi.arg_from(p) {
+                            Some(a) => {
+                                pairs.push((self.f.phi_result(*handler_entry, k).0, a.0));
+                            }
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                    if complete {
+                        moves.push((p.0, pairs.into_boxed_slice()));
+                    }
+                }
+                self.handlers[h as usize] = HandlerInfo {
+                    entry_pc,
+                    has_phis: !hb.phis.is_empty(),
+                    moves,
+                };
+                self.emit_block_body(*handler_entry);
+                let ft_h = self.emit(handler);
+                if ft_h {
+                    self.emit_moves(self.cur, *join);
+                }
+                if ft_body || ft_h {
+                    if let Some(j) = body_jump {
+                        let here = self.code.len() as u32;
+                        self.patch(j, here);
+                    }
+                    self.emit_block_body(*join);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Decodes one SSA instruction into a threaded op.
+    fn decode(&self, instr: &Instr, dst: Slot) -> Op {
+        let types = &self.vm.module.types;
+        let fail = |msg: &str| Op::Fail { msg: msg.into() };
+        match instr {
+            Instr::Primitive { ty, op, args } | Instr::XPrimitive { ty, op, args } => {
+                let kind = match types.kind(*ty) {
+                    TypeKind::Prim(k) => k,
+                    _ => return fail("primitive on non-prim"),
+                };
+                let Some(desc) = primops::resolve(kind, *op) else {
+                    return fail("unknown primop");
+                };
+                if kind == PrimKind::Int {
+                    if let Some(pred) = cmp_pred(desc.name) {
+                        return Op::IntCmp {
+                            pred,
+                            a: args[0].0,
+                            b: args[1].0,
+                            dst,
+                        };
+                    }
+                }
+                if desc.params.len() == 1 {
+                    Op::Prim1 {
+                        f: un_fn(kind, desc.name),
+                        a: args[0].0,
+                        dst,
+                    }
+                } else {
+                    Op::Prim2 {
+                        f: bin_fn(kind, desc.name),
+                        a: args[0].0,
+                        b: args[1].0,
+                        dst,
+                    }
+                }
+            }
+            Instr::NullCheck { value, .. } => Op::NullCheck { v: value.0, dst },
+            Instr::IndexCheck { array, index, .. } => Op::IndexCheck {
+                arr: array.0,
+                idx: index.0,
+                dst,
+            },
+            Instr::Upcast { to, value, .. } => Op::Upcast {
+                to: *to,
+                v: value.0,
+                dst,
+            },
+            Instr::Downcast { value, .. } => Op::Copy { src: value.0, dst },
+            Instr::GetField { object, field, .. } => match self.vm.instance_field_slot(field) {
+                Ok(slot) => Op::GetField {
+                    obj: object.0,
+                    slot: slot as u32,
+                    dst,
+                },
+                Err(_) => fail("bad field ref"),
+            },
+            Instr::SetField {
+                object,
+                field,
+                value,
+                ..
+            } => match self.vm.instance_field_slot(field) {
+                Ok(slot) => Op::SetField {
+                    obj: object.0,
+                    slot: slot as u32,
+                    val: value.0,
+                },
+                Err(_) => fail("bad field ref"),
+            },
+            Instr::GetStatic { field } => Op::GetStatic {
+                class: field.class.0,
+                idx: field.index,
+                dst,
+            },
+            Instr::SetStatic { field, value } => Op::SetStatic {
+                class: field.class.0,
+                idx: field.index,
+                val: value.0,
+            },
+            Instr::GetElt { array, index, .. } => Op::GetElt {
+                arr: array.0,
+                idx: index.0,
+                dst,
+            },
+            Instr::SetElt {
+                array,
+                index,
+                value,
+                ..
+            } => Op::SetElt {
+                arr: array.0,
+                idx: index.0,
+                val: value.0,
+            },
+            Instr::ArrayLength { array, .. } => Op::ArrayLength { arr: array.0, dst },
+            Instr::New { class_ty } => match types.kind(*class_ty) {
+                TypeKind::Class(c) => Op::New { class: c, dst },
+                _ => fail("new on non-class"),
+            },
+            Instr::NewArray { arr_ty, length } => {
+                let Ok(width) = self.vm.array_elem_width(*arr_ty) else {
+                    return fail("newarray on non-array type");
+                };
+                let elem = types.array_elem(*arr_ty).expect("checked above");
+                let elem = match types.kind(elem) {
+                    TypeKind::Prim(PrimKind::Bool) => ElemKind::Z,
+                    TypeKind::Prim(PrimKind::Char) => ElemKind::C,
+                    TypeKind::Prim(PrimKind::Int) => ElemKind::I,
+                    TypeKind::Prim(PrimKind::Long) => ElemKind::J,
+                    TypeKind::Prim(PrimKind::Float) => ElemKind::F,
+                    TypeKind::Prim(PrimKind::Double) => ElemKind::D,
+                    _ => ElemKind::R,
+                };
+                Op::NewArray {
+                    elem,
+                    width,
+                    type_tag: arr_ty.0 as u64,
+                    len: length.0,
+                    dst,
+                }
+            }
+            Instr::XCall {
+                method,
+                receiver,
+                args,
+                ..
+            } => {
+                let Some(info) = types.method(*method) else {
+                    return fail("bad method ref");
+                };
+                let target = match info.body {
+                    Some(body) => CallTarget::Func(FuncId(body)),
+                    None => match self.resolve_intrinsic(method.class, *method) {
+                        Ok(t) => t,
+                        Err(msg) => return Op::Fail { msg: msg.into() },
+                    },
+                };
+                Op::Call {
+                    target,
+                    recv: receiver.map(|r| r.0).unwrap_or(NO_SLOT),
+                    args: args.iter().map(|a| a.0).collect(),
+                    dst,
+                }
+            }
+            Instr::XDispatch {
+                method,
+                receiver,
+                args,
+                ..
+            } => {
+                let Some(info) = types.method(*method) else {
+                    return fail("bad method ref");
+                };
+                let Some(vslot) = info.vtable_slot else {
+                    return fail("xdispatch without slot");
+                };
+                Op::Dispatch {
+                    vslot,
+                    ic: Cell::new(None),
+                    recv: receiver.0,
+                    args: args.iter().map(|a| a.0).collect(),
+                    dst,
+                }
+            }
+            Instr::RefEq { a, b, .. } => Op::RefEq {
+                a: a.0,
+                b: b.0,
+                dst,
+            },
+            Instr::InstanceOf { target, value, .. } => Op::InstanceOf {
+                target: *target,
+                v: value.0,
+                dst,
+            },
+            Instr::Catch { .. } => Op::Catch { dst },
+        }
+    }
+
+    /// Resolves a body-less method to its host intrinsic at decode time
+    /// (same resolution the switch engine performs per call).
+    fn resolve_intrinsic(&self, class: ClassId, method: MethodRef) -> Result<CallTarget, String> {
+        let types = &self.vm.module.types;
+        let cinfo = types.class(class);
+        let Some(minfo) = types.method(method) else {
+            return Err("bad method ref".into());
+        };
+        let sig: String = minfo
+            .params
+            .iter()
+            .map(|p| crate::interp::sig_letter(types, *p))
+            .collect();
+        let id = intrinsics::resolve(&cinfo.name, &minfo.name, &sig).ok_or_else(|| {
+            format!("no intrinsic for {}.{}({sig})", cinfo.name, minfo.name)
+        })?;
+        Ok(CallTarget::Intrinsic {
+            id,
+            is_static: minfo.kind == MethodKind::Static,
+        })
+    }
+}
+
+/// Peephole superinstruction fusion over adjacent decoded ops within a
+/// block. The pair set was chosen from the corpus opcode-pair histogram
+/// (`bench_report --pairs`; see DESIGN.md for the measured table):
+/// check+access pairs and primitive chains dominate dynamic dispatch
+/// adjacency corpus-wide.
+fn try_fuse(prev: &Op, cur: &Op) -> Option<Op> {
+    match (prev, cur) {
+        // nullcheck → getfield on the checked ref.
+        (
+            &Op::NullCheck { v, dst: chk },
+            &Op::GetField { obj, slot, dst },
+        ) if obj == chk => Some(Op::NullGetField {
+            obj: v,
+            slot,
+            chk,
+            dst,
+        }),
+        // nullcheck → setfield on the checked ref.
+        (
+            &Op::NullCheck { v, dst: chk },
+            &Op::SetField { obj, slot, val },
+        ) if obj == chk && val != chk => Some(Op::NullSetField {
+            obj: v,
+            slot,
+            val,
+            chk,
+        }),
+        // indexcheck → getelt with the checked index on the same array.
+        (
+            &Op::IndexCheck { arr, idx, dst: chk },
+            &Op::GetElt {
+                arr: a2,
+                idx: i2,
+                dst,
+            },
+        ) if a2 == arr && i2 == chk => Some(Op::IdxGetElt { arr, idx, chk, dst }),
+        // indexcheck → setelt.
+        (
+            &Op::IndexCheck { arr, idx, dst: chk },
+            &Op::SetElt {
+                arr: a2,
+                idx: i2,
+                val,
+            },
+        ) if a2 == arr && i2 == chk && val != chk => Some(Op::IdxSetElt { arr, idx, val, chk }),
+        // primitive → primitive chains (sequential evaluation keeps
+        // dataflow and trap order identical to the unfused pair).
+        (
+            &Op::Prim2 {
+                f: f1,
+                a: a1,
+                b: b1,
+                dst: d1,
+            },
+            &Op::Prim2 {
+                f: f2,
+                a: a2,
+                b: b2,
+                dst: d2,
+            },
+        ) => Some(Op::Prim2Pair {
+            f1,
+            a1,
+            b1,
+            d1,
+            f2,
+            a2,
+            b2,
+            d2,
+        }),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------
+
+impl<'m> Vm<'m> {
+    /// Runs one call in the threaded engine. Mirrors
+    /// `Vm::call_inner`'s switch path: argument and constant preloads,
+    /// then the dispatch loop, with traps unwinding to the innermost
+    /// active handler.
+    pub(crate) fn call_threaded(
+        &mut self,
+        fid: FuncId,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, Trap> {
+        let tf = self.tfunc(fid);
+        // The verifier guarantees def-before-use, so slots can be plain
+        // values (zero-initialized) instead of the switch engine's
+        // Option-per-slot.
+        let mut vals = vec![Value::I(0); tf.nvals];
+        for (i, a) in args.into_iter().enumerate() {
+            vals[i] = a;
+        }
+        for (slot, lit) in &tf.consts {
+            vals[*slot as usize] = self.literal(lit)?;
+        }
+        let mut pc: usize = 0;
+        let mut handlers: Vec<u32> = Vec::new();
+        let mut pending: Option<HeapRef> = None;
+        'l: loop {
+            let trap: Trap = 'op: {
+                match &tf.code[pc] {
+                    Op::Block { cost, bi } => {
+                        let cost = *cost;
+                        if self.fuel < u64::from(cost) {
+                            break 'op Trap::OutOfFuel;
+                        }
+                        self.fuel -= u64::from(cost);
+                        self.steps += u64::from(cost);
+                        if self.slice_active {
+                            if let Err(t) = self.slice_tick(&tf, *bi, cost) {
+                                break 'op t;
+                            }
+                        }
+                        if self.collect_stats {
+                            for &(m, n) in tf.blocks[*bi as usize].counts.iter() {
+                                *self.stats.opcodes.entry(m).or_insert(0) += u64::from(n);
+                            }
+                        }
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Jump { t } => {
+                        pc = *t as usize;
+                        continue 'l;
+                    }
+                    Op::BranchFalse { cond, t } => {
+                        if vals[*cond as usize].as_z() {
+                            pc += 1;
+                        } else {
+                            pc = *t as usize;
+                        }
+                        continue 'l;
+                    }
+                    Op::CmpBranchFalse { pred, a, b, dst, t } => {
+                        let r =
+                            cmp_eval(*pred, vals[*a as usize].as_i(), vals[*b as usize].as_i());
+                        vals[*dst as usize] = Value::Z(r);
+                        if self.collect_stats {
+                            *self.stats.fused.entry("primitive>branch").or_insert(0) += 1;
+                        }
+                        if r {
+                            pc += 1;
+                        } else {
+                            pc = *t as usize;
+                        }
+                        continue 'l;
+                    }
+                    Op::Moves { pairs } => {
+                        let mut scratch = std::mem::take(&mut self.moves_scratch);
+                        scratch.clear();
+                        scratch.extend(pairs.iter().map(|&(_, src)| vals[src as usize]));
+                        for (&(dst, _), v) in pairs.iter().zip(&scratch) {
+                            vals[dst as usize] = *v;
+                        }
+                        self.moves_scratch = scratch;
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Ret { src } => {
+                        return Ok(if *src == NO_SLOT {
+                            None
+                        } else {
+                            Some(vals[*src as usize])
+                        });
+                    }
+                    Op::Throw { src } => match vals[*src as usize].as_ref() {
+                        None => break 'op Trap::NullPointer,
+                        Some(r) => break 'op Trap::User(r),
+                    },
+                    Op::PushHandler { h } => {
+                        handlers.push(*h);
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::PopHandler => {
+                        handlers.pop();
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Copy { src, dst } => {
+                        vals[*dst as usize] = vals[*src as usize];
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Prim1 { f, a, dst } => match f(vals[*a as usize]) {
+                        Ok(v) => {
+                            vals[*dst as usize] = v;
+                            pc += 1;
+                            continue 'l;
+                        }
+                        Err(t) => break 'op t,
+                    },
+                    Op::Prim2 { f, a, b, dst } => {
+                        match f(vals[*a as usize], vals[*b as usize]) {
+                            Ok(v) => {
+                                vals[*dst as usize] = v;
+                                pc += 1;
+                                continue 'l;
+                            }
+                            Err(t) => break 'op t,
+                        }
+                    }
+                    Op::Prim2Pair {
+                        f1,
+                        a1,
+                        b1,
+                        d1,
+                        f2,
+                        a2,
+                        b2,
+                        d2,
+                    } => {
+                        match f1(vals[*a1 as usize], vals[*b1 as usize]) {
+                            Ok(v) => vals[*d1 as usize] = v,
+                            Err(t) => break 'op t,
+                        }
+                        match f2(vals[*a2 as usize], vals[*b2 as usize]) {
+                            Ok(v) => vals[*d2 as usize] = v,
+                            Err(t) => break 'op t,
+                        }
+                        if self.collect_stats {
+                            *self
+                                .stats
+                                .fused
+                                .entry("primitive>primitive")
+                                .or_insert(0) += 1;
+                        }
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::IntCmp { pred, a, b, dst } => {
+                        vals[*dst as usize] = Value::Z(cmp_eval(
+                            *pred,
+                            vals[*a as usize].as_i(),
+                            vals[*b as usize].as_i(),
+                        ));
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::NullCheck { v, dst } => {
+                        if self.collect_stats {
+                            self.stats.null_checks += 1;
+                        }
+                        let val = vals[*v as usize];
+                        if val.as_ref().is_none() {
+                            break 'op Trap::NullPointer;
+                        }
+                        vals[*dst as usize] = val;
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::GetField { obj, slot, dst } => {
+                        let Some(r) = vals[*obj as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        match self.heap.get(r) {
+                            Obj::Instance { fields, .. } => {
+                                vals[*dst as usize] = fields[*slot as usize];
+                                pc += 1;
+                                continue 'l;
+                            }
+                            _ => break 'op Trap::Internal("getfield on non-instance".into()),
+                        }
+                    }
+                    Op::NullGetField {
+                        obj,
+                        slot,
+                        chk,
+                        dst,
+                    } => {
+                        if self.collect_stats {
+                            self.stats.null_checks += 1;
+                            *self.stats.fused.entry("nullcheck>getfield").or_insert(0) += 1;
+                        }
+                        let val = vals[*obj as usize];
+                        let Some(r) = val.as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        vals[*chk as usize] = val;
+                        match self.heap.get(r) {
+                            Obj::Instance { fields, .. } => {
+                                vals[*dst as usize] = fields[*slot as usize];
+                                pc += 1;
+                                continue 'l;
+                            }
+                            _ => break 'op Trap::Internal("getfield on non-instance".into()),
+                        }
+                    }
+                    Op::SetField { obj, slot, val } => {
+                        let Some(r) = vals[*obj as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        let v = vals[*val as usize];
+                        match self.heap.get_mut(r) {
+                            Obj::Instance { fields, .. } => {
+                                fields[*slot as usize] = v;
+                                pc += 1;
+                                continue 'l;
+                            }
+                            _ => break 'op Trap::Internal("setfield on non-instance".into()),
+                        }
+                    }
+                    Op::NullSetField {
+                        obj,
+                        slot,
+                        val,
+                        chk,
+                    } => {
+                        if self.collect_stats {
+                            self.stats.null_checks += 1;
+                            *self.stats.fused.entry("nullcheck>setfield").or_insert(0) += 1;
+                        }
+                        let ov = vals[*obj as usize];
+                        let Some(r) = ov.as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        vals[*chk as usize] = ov;
+                        let v = vals[*val as usize];
+                        match self.heap.get_mut(r) {
+                            Obj::Instance { fields, .. } => {
+                                fields[*slot as usize] = v;
+                                pc += 1;
+                                continue 'l;
+                            }
+                            _ => break 'op Trap::Internal("setfield on non-instance".into()),
+                        }
+                    }
+                    Op::GetStatic { class, idx, dst } => {
+                        vals[*dst as usize] =
+                            self.statics.get(*class as usize, *idx as usize);
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::SetStatic { class, idx, val } => {
+                        self.statics
+                            .set(*class as usize, *idx as usize, vals[*val as usize]);
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::IndexCheck { arr, idx, dst } => {
+                        if self.collect_stats {
+                            self.stats.index_checks += 1;
+                        }
+                        let Some(r) = vals[*arr as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        let i = vals[*idx as usize].as_i();
+                        let len = match self.heap.get(r) {
+                            Obj::Array { data, .. } => data.len(),
+                            _ => {
+                                break 'op Trap::Internal("indexcheck on non-array".into());
+                            }
+                        };
+                        if i < 0 || i as usize >= len {
+                            break 'op Trap::IndexOutOfBounds;
+                        }
+                        vals[*dst as usize] = Value::I(i);
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::GetElt { arr, idx, dst } => {
+                        let Some(r) = vals[*arr as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        let i = vals[*idx as usize].as_i() as usize;
+                        match self.heap.get(r) {
+                            Obj::Array { data, .. } => match data.get(i) {
+                                Ok(v) => {
+                                    vals[*dst as usize] = v;
+                                    pc += 1;
+                                    continue 'l;
+                                }
+                                Err(t) => break 'op t,
+                            },
+                            _ => break 'op Trap::Internal("getelt on non-array".into()),
+                        }
+                    }
+                    Op::IdxGetElt { arr, idx, chk, dst } => {
+                        if self.collect_stats {
+                            self.stats.index_checks += 1;
+                            *self.stats.fused.entry("indexcheck>getelt").or_insert(0) += 1;
+                        }
+                        let Some(r) = vals[*arr as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        let i = vals[*idx as usize].as_i();
+                        match self.heap.get(r) {
+                            Obj::Array { data, .. } => {
+                                if i < 0 || i as usize >= data.len() {
+                                    break 'op Trap::IndexOutOfBounds;
+                                }
+                                vals[*chk as usize] = Value::I(i);
+                                match data.get(i as usize) {
+                                    Ok(v) => {
+                                        vals[*dst as usize] = v;
+                                        pc += 1;
+                                        continue 'l;
+                                    }
+                                    Err(t) => break 'op t,
+                                }
+                            }
+                            _ => {
+                                break 'op Trap::Internal("indexcheck on non-array".into());
+                            }
+                        }
+                    }
+                    Op::SetElt { arr, idx, val } => {
+                        let Some(r) = vals[*arr as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        let i = vals[*idx as usize].as_i() as usize;
+                        let v = vals[*val as usize];
+                        match self.heap.get_mut(r) {
+                            Obj::Array { data, .. } => match data.set(i, v) {
+                                Ok(()) => {
+                                    pc += 1;
+                                    continue 'l;
+                                }
+                                Err(t) => break 'op t,
+                            },
+                            _ => break 'op Trap::Internal("setelt on non-array".into()),
+                        }
+                    }
+                    Op::IdxSetElt { arr, idx, val, chk } => {
+                        if self.collect_stats {
+                            self.stats.index_checks += 1;
+                            *self.stats.fused.entry("indexcheck>setelt").or_insert(0) += 1;
+                        }
+                        let Some(r) = vals[*arr as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        let i = vals[*idx as usize].as_i();
+                        let v = vals[*val as usize];
+                        match self.heap.get_mut(r) {
+                            Obj::Array { data, .. } => {
+                                if i < 0 || i as usize >= data.len() {
+                                    break 'op Trap::IndexOutOfBounds;
+                                }
+                                match data.set(i as usize, v) {
+                                    Ok(()) => {
+                                        vals[*chk as usize] = Value::I(i);
+                                        pc += 1;
+                                        continue 'l;
+                                    }
+                                    Err(t) => break 'op t,
+                                }
+                            }
+                            _ => {
+                                break 'op Trap::Internal("indexcheck on non-array".into());
+                            }
+                        }
+                    }
+                    Op::ArrayLength { arr, dst } => {
+                        let Some(r) = vals[*arr as usize].as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        match self.heap.get(r) {
+                            Obj::Array { data, .. } => {
+                                vals[*dst as usize] = Value::I(data.len() as i32);
+                                pc += 1;
+                                continue 'l;
+                            }
+                            _ => break 'op Trap::Internal("arraylength on non-array".into()),
+                        }
+                    }
+                    Op::New { class, dst } => match self.alloc_instance(*class) {
+                        Ok(r) => {
+                            vals[*dst as usize] = Value::Ref(Some(r));
+                            pc += 1;
+                            continue 'l;
+                        }
+                        Err(t) => break 'op t,
+                    },
+                    Op::NewArray {
+                        elem,
+                        width,
+                        type_tag,
+                        len,
+                        dst,
+                    } => {
+                        let n = vals[*len as usize].as_i();
+                        if n < 0 {
+                            break 'op Trap::NegativeArraySize;
+                        }
+                        // Reserve the projected size before building
+                        // the elements, same as the switch engine.
+                        if let Err(t) = self
+                            .heap
+                            .try_reserve(safetsa_rt::heap::array_size_bytes(*width, n as u64))
+                        {
+                            break 'op t;
+                        }
+                        if self.collect_stats {
+                            self.stats.arrays_allocated += 1;
+                        }
+                        let n = n as usize;
+                        let data = match elem {
+                            ElemKind::Z => safetsa_rt::heap::ArrData::Z(vec![false; n]),
+                            ElemKind::C => safetsa_rt::heap::ArrData::C(vec![0; n]),
+                            ElemKind::I => safetsa_rt::heap::ArrData::I(vec![0; n]),
+                            ElemKind::J => safetsa_rt::heap::ArrData::J(vec![0; n]),
+                            ElemKind::F => safetsa_rt::heap::ArrData::F(vec![0.0; n]),
+                            ElemKind::D => safetsa_rt::heap::ArrData::D(vec![0.0; n]),
+                            ElemKind::R => safetsa_rt::heap::ArrData::R(vec![None; n]),
+                        };
+                        let r = self.heap.alloc(Obj::Array {
+                            type_tag: *type_tag,
+                            data,
+                        });
+                        vals[*dst as usize] = Value::Ref(Some(r));
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Upcast { to, v, dst } => {
+                        let val = vals[*v as usize];
+                        match val.as_ref() {
+                            None => {
+                                vals[*dst as usize] = val;
+                                pc += 1;
+                                continue 'l;
+                            }
+                            Some(r) => {
+                                if self.ref_is_instance_of(r, *to) {
+                                    vals[*dst as usize] = val;
+                                    pc += 1;
+                                    continue 'l;
+                                }
+                                break 'op Trap::ClassCast;
+                            }
+                        }
+                    }
+                    Op::InstanceOf { target, v, dst } => {
+                        let res = match vals[*v as usize].as_ref() {
+                            None => false,
+                            Some(r) => self.ref_is_instance_of(r, *target),
+                        };
+                        vals[*dst as usize] = Value::Z(res);
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::RefEq { a, b, dst } => {
+                        vals[*dst as usize] = Value::Z(
+                            vals[*a as usize].as_ref() == vals[*b as usize].as_ref(),
+                        );
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Catch { dst } => match pending.take() {
+                        Some(exc) => {
+                            vals[*dst as usize] = Value::Ref(Some(exc));
+                            pc += 1;
+                            continue 'l;
+                        }
+                        None => {
+                            break 'op Trap::Internal("catch without pending exception".into());
+                        }
+                    },
+                    Op::Call {
+                        target,
+                        recv,
+                        args,
+                        dst,
+                    } => {
+                        let argv: Vec<Value> =
+                            args.iter().map(|&s| vals[s as usize]).collect();
+                        let res = match *target {
+                            CallTarget::Func(f2) => {
+                                let mut all = Vec::with_capacity(argv.len() + 1);
+                                if *recv != NO_SLOT {
+                                    all.push(vals[*recv as usize]);
+                                }
+                                all.extend(argv);
+                                self.call(f2, all)
+                            }
+                            CallTarget::Intrinsic { id, is_static } => {
+                                let rv = if is_static || *recv == NO_SLOT {
+                                    None
+                                } else {
+                                    Some(vals[*recv as usize])
+                                };
+                                intrinsics::invoke(
+                                    id,
+                                    &mut self.heap,
+                                    &mut self.output,
+                                    rv,
+                                    &argv,
+                                )
+                            }
+                        };
+                        match res {
+                            Ok(Some(v)) => {
+                                if *dst == NO_SLOT {
+                                    break 'op Trap::Internal(
+                                        "result for result-less instr".into(),
+                                    );
+                                }
+                                vals[*dst as usize] = v;
+                            }
+                            Ok(None) => {}
+                            Err(t) => break 'op t,
+                        }
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Dispatch {
+                        vslot,
+                        ic,
+                        recv,
+                        args,
+                        dst,
+                    } => {
+                        let rv = vals[*recv as usize];
+                        let Some(r) = rv.as_ref() else {
+                            break 'op Trap::NullPointer;
+                        };
+                        let rc = match self.heap.get(r) {
+                            Obj::Instance { class, .. } => *class as u32,
+                            Obj::Str(_) => self.string_class.0,
+                            Obj::Array { .. } => self.module.well_known.object.0,
+                        };
+                        let target = match ic.get() {
+                            Some((c, t)) if c == rc => {
+                                self.icache_hits += 1;
+                                t
+                            }
+                            _ => {
+                                self.icache_misses += 1;
+                                match self.resolve_virtual(rc, *vslot) {
+                                    Ok(t) => {
+                                        ic.set(Some((rc, t)));
+                                        t
+                                    }
+                                    Err(t) => break 'op t,
+                                }
+                            }
+                        };
+                        let argv: Vec<Value> =
+                            args.iter().map(|&s| vals[s as usize]).collect();
+                        let res = match target {
+                            CallTarget::Func(f2) => {
+                                let mut all = Vec::with_capacity(argv.len() + 1);
+                                all.push(rv);
+                                all.extend(argv);
+                                self.call(f2, all)
+                            }
+                            CallTarget::Intrinsic { id, is_static } => {
+                                let rv = if is_static { None } else { Some(rv) };
+                                intrinsics::invoke(
+                                    id,
+                                    &mut self.heap,
+                                    &mut self.output,
+                                    rv,
+                                    &argv,
+                                )
+                            }
+                        };
+                        match res {
+                            Ok(Some(v)) => {
+                                if *dst == NO_SLOT {
+                                    break 'op Trap::Internal(
+                                        "result for result-less instr".into(),
+                                    );
+                                }
+                                vals[*dst as usize] = v;
+                            }
+                            Ok(None) => {}
+                            Err(t) => break 'op t,
+                        }
+                        pc += 1;
+                        continue 'l;
+                    }
+                    Op::Fail { msg } => break 'op Trap::Internal(msg.to_string()),
+                }
+            };
+            match self.unwind_threaded(&tf, &mut handlers, trap, pc, &mut vals, &mut pending) {
+                Ok(npc) => pc = npc,
+                Err(t) => return Err(t),
+            }
+        }
+    }
+
+    /// Slice countdown for one block. While profiling, the countdown
+    /// runs per original instruction (feeding the opcode ring exactly
+    /// like the switch engine); otherwise the whole block cost is
+    /// debited at once, with one boundary action per slice crossed.
+    fn slice_tick(&mut self, tf: &TFunc, bi: u32, cost: u32) -> Result<(), Trap> {
+        if self.profile_every != 0 {
+            // Split borrow: the ring push needs &mut self while `tf` is
+            // a separate Rc, so this is fine.
+            let meta = &tf.blocks[bi as usize];
+            for &m in meta.mnems.iter() {
+                self.profile_ring[self.profile_ring_idx as usize] = m;
+                self.profile_ring_idx = (self.profile_ring_idx + 1) % PROFILE_WINDOW as u8;
+                if (self.profile_ring_len as usize) < PROFILE_WINDOW {
+                    self.profile_ring_len += 1;
+                }
+                self.slice_left -= 1;
+                if self.slice_left == 0 {
+                    self.slice_left = DEADLINE_SLICE;
+                    self.slice_boundary(&tf.name)?;
+                }
+            }
+        } else {
+            let mut c = cost;
+            while c >= self.slice_left {
+                c -= self.slice_left;
+                self.slice_left = DEADLINE_SLICE;
+                self.slice_boundary(&tf.name)?;
+            }
+            self.slice_left -= c;
+        }
+        Ok(())
+    }
+
+    /// One slice boundary: profiler sample first (so a deadline kill at
+    /// this boundary still carries its at-kill-time sample), then the
+    /// deadline clock read.
+    fn slice_boundary(&mut self, name: &str) -> Result<(), Trap> {
+        if self.profile_every != 0 {
+            self.profile_countdown -= 1;
+            if self.profile_countdown == 0 {
+                self.profile_countdown = self.profile_every;
+                let mut window = [""; PROFILE_WINDOW];
+                let n = self.profile_ring_len as usize;
+                for (i, slot) in window[..n].iter_mut().enumerate() {
+                    let src =
+                        (self.profile_ring_idx as usize + PROFILE_WINDOW - n + i) % PROFILE_WINDOW;
+                    *slot = self.profile_ring[src];
+                }
+                self.profile.sample(name, &window[..n]);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            self.deadline_checks += 1;
+            if Instant::now() >= deadline {
+                return Err(Trap::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Unwinds a trap to the innermost active handler: materializes the
+    /// exception object, applies the handler-entry phi moves for the
+    /// faulting block, and returns the handler-entry pc. Uncatchable
+    /// traps (fuel, deadline, internal) propagate out.
+    fn unwind_threaded(
+        &mut self,
+        tf: &TFunc,
+        handlers: &mut Vec<u32>,
+        trap: Trap,
+        pc: usize,
+        vals: &mut [Value],
+        pending: &mut Option<HeapRef>,
+    ) -> Result<usize, Trap> {
+        let Some(h) = handlers.pop() else {
+            return Err(trap);
+        };
+        let exc = self.trap_to_object(trap)?;
+        let hi = &tf.handlers[h as usize];
+        if hi.has_phis {
+            // The dynamic predecessor is the block containing the
+            // faulting op: the greatest block start at or before pc.
+            let bid = match tf
+                .block_starts
+                .binary_search_by(|&(p, _)| p.cmp(&(pc as u32)))
+            {
+                Ok(i) => tf.block_starts[i].1,
+                Err(0) => {
+                    return Err(Trap::Internal("trap outside any block".into()));
+                }
+                Err(i) => tf.block_starts[i - 1].1,
+            };
+            match hi.moves.iter().find(|(p, _)| *p == bid) {
+                Some((_, pairs)) => {
+                    let mut scratch = std::mem::take(&mut self.moves_scratch);
+                    scratch.clear();
+                    scratch.extend(pairs.iter().map(|&(_, src)| vals[src as usize]));
+                    for (&(dst, _), v) in pairs.iter().zip(&scratch) {
+                        vals[dst as usize] = *v;
+                    }
+                    self.moves_scratch = scratch;
+                }
+                None => {
+                    return Err(Trap::Internal(format!(
+                        "phi in handler has no arg from b{bid}"
+                    )));
+                }
+            }
+        }
+        *pending = Some(exc);
+        Ok(hi.entry_pc as usize)
+    }
+
+    /// The vtable walk behind an inline-cache miss: resolves
+    /// `(runtime class, vtable slot)` to a call target. Deterministic
+    /// over the immutable vtables, so caching the result is sound.
+    fn resolve_virtual(&self, rc: u32, vslot: u32) -> Result<CallTarget, Trap> {
+        let (impl_class, impl_idx) = self.vtables[rc as usize][vslot as usize];
+        let target = MethodRef {
+            class: impl_class,
+            index: impl_idx,
+        };
+        let info = self
+            .module
+            .types
+            .method(target)
+            .ok_or_else(|| Trap::Internal("bad vtable entry".into()))?;
+        if let Some(body) = info.body {
+            return Ok(CallTarget::Func(FuncId(body)));
+        }
+        let types = &self.module.types;
+        let cinfo = types.class(impl_class);
+        let sig: String = info
+            .params
+            .iter()
+            .map(|p| crate::interp::sig_letter(types, *p))
+            .collect();
+        let id = intrinsics::resolve(&cinfo.name, &info.name, &sig).ok_or_else(|| {
+            Trap::Internal(format!(
+                "no intrinsic for {}.{}({sig})",
+                cinfo.name, info.name
+            ))
+        })?;
+        Ok(CallTarget::Intrinsic {
+            id,
+            is_static: info.kind == MethodKind::Static,
+        })
+    }
+
+    /// Decoded-code statistics for `safetsa stats`: per function, the
+    /// fused-op count and total charged ops (static, not dynamic).
+    pub fn fused_static_counts(&mut self) -> (u64, u64) {
+        let mut fused = 0u64;
+        let mut total = 0u64;
+        for i in 0..self.module.functions.len() {
+            let tf = self.tfunc(FuncId(i as u32));
+            for op in &tf.code {
+                match op {
+                    Op::Block { cost, .. } => total += u64::from(*cost),
+                    Op::NullGetField { .. }
+                    | Op::NullSetField { .. }
+                    | Op::IdxGetElt { .. }
+                    | Op::IdxSetElt { .. }
+                    | Op::Prim2Pair { .. }
+                    | Op::CmpBranchFalse { .. } => fused += 1,
+                    _ => {}
+                }
+            }
+        }
+        (fused, total)
+    }
+
+    /// The engine's `Engine::Threaded` discriminant re-exported for
+    /// convenience in integration code.
+    pub fn is_threaded(&self) -> bool {
+        self.engine() == Engine::Threaded
+    }
+}
