@@ -1,0 +1,227 @@
+//! Serializable per-function analysis-fact summaries.
+//!
+//! The incremental store (see `crates/driver`'s `store` module and
+//! DESIGN.md "Incremental compilation") persists, next to each method's
+//! encoded section, a digest of what the dataflow analyses proved about
+//! it: fact counts and fixpoint iteration counts for nullness, range,
+//! liveness, alias, and escape. The facts themselves are a pure
+//! function of the (already content-addressed) method body, so sharing
+//! the summary across compilations is sound whenever sharing the body
+//! is — a reused unit replays its analysis telemetry without re-running
+//! any fixpoint.
+//!
+//! The summary travels as a flat `name value` text block, the same
+//! self-describing shape the telemetry registry exports, so a store
+//! entry stays inspectable with `cat`.
+
+use crate::{alias, escape, liveness, nullness, range};
+use safetsa_core::cfg::Cfg;
+use safetsa_core::function::Function;
+use safetsa_core::types::TypeTable;
+
+/// Aggregated analysis facts for one function (or, summed, for a whole
+/// module): how many values each analysis proved something about and
+/// how many fixpoint passes that took.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactSummary {
+    /// Values with a computed nullness fact.
+    pub nullness_facts: u64,
+    /// Nullness fixpoint passes.
+    pub nullness_iterations: u64,
+    /// Values with a computed range fact.
+    pub range_facts: u64,
+    /// Range fixpoint passes.
+    pub range_iterations: u64,
+    /// Values proven able to influence observable behaviour.
+    pub live_values: u64,
+    /// Liveness fixpoint passes.
+    pub liveness_iterations: u64,
+    /// Allocation sites seen by the alias analysis.
+    pub alias_sites: u64,
+    /// Values with a points-to fact.
+    pub alias_facts: u64,
+    /// Alias fixpoint passes.
+    pub alias_iterations: u64,
+    /// Sites classified `NoEscape`.
+    pub escape_no: u64,
+    /// Sites classified `ArgEscape`.
+    pub escape_arg: u64,
+    /// Sites classified `GlobalEscape`.
+    pub escape_global: u64,
+}
+
+/// Field order of the flat serialization; [`FactSummary::to_flat`] and
+/// [`FactSummary::from_flat`] both walk this list, so the two cannot
+/// drift apart.
+const FIELDS: [&str; 12] = [
+    "nullness_facts",
+    "nullness_iterations",
+    "range_facts",
+    "range_iterations",
+    "live_values",
+    "liveness_iterations",
+    "alias_sites",
+    "alias_facts",
+    "alias_iterations",
+    "escape_no",
+    "escape_arg",
+    "escape_global",
+];
+
+impl FactSummary {
+    fn field(&self, name: &str) -> u64 {
+        match name {
+            "nullness_facts" => self.nullness_facts,
+            "nullness_iterations" => self.nullness_iterations,
+            "range_facts" => self.range_facts,
+            "range_iterations" => self.range_iterations,
+            "live_values" => self.live_values,
+            "liveness_iterations" => self.liveness_iterations,
+            "alias_sites" => self.alias_sites,
+            "alias_facts" => self.alias_facts,
+            "alias_iterations" => self.alias_iterations,
+            "escape_no" => self.escape_no,
+            "escape_arg" => self.escape_arg,
+            "escape_global" => self.escape_global,
+            _ => unreachable!("unknown FactSummary field {name}"),
+        }
+    }
+
+    fn field_mut(&mut self, name: &str) -> &mut u64 {
+        match name {
+            "nullness_facts" => &mut self.nullness_facts,
+            "nullness_iterations" => &mut self.nullness_iterations,
+            "range_facts" => &mut self.range_facts,
+            "range_iterations" => &mut self.range_iterations,
+            "live_values" => &mut self.live_values,
+            "liveness_iterations" => &mut self.liveness_iterations,
+            "alias_sites" => &mut self.alias_sites,
+            "alias_facts" => &mut self.alias_facts,
+            "alias_iterations" => &mut self.alias_iterations,
+            "escape_no" => &mut self.escape_no,
+            "escape_arg" => &mut self.escape_arg,
+            "escape_global" => &mut self.escape_global,
+            _ => unreachable!("unknown FactSummary field {name}"),
+        }
+    }
+
+    /// Accumulates another function's summary.
+    pub fn add(&mut self, o: &FactSummary) {
+        for name in FIELDS {
+            *self.field_mut(name) += o.field(name);
+        }
+    }
+
+    /// Renders the summary as flat `name value` lines.
+    pub fn to_flat(&self) -> String {
+        let mut out = String::new();
+        for name in FIELDS {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&self.field(name).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a [`FactSummary::to_flat`] rendering. `None` on any
+    /// malformed or missing line — store readers treat that as a cache
+    /// miss, never an error.
+    pub fn from_flat(text: &str) -> Option<FactSummary> {
+        let mut s = FactSummary::default();
+        let mut lines = text.lines();
+        for name in FIELDS {
+            let line = lines.next()?;
+            let value = line.strip_prefix(name)?.strip_prefix(' ')?;
+            *s.field_mut(name) = value.parse().ok()?;
+        }
+        lines.next().is_none().then_some(s)
+    }
+}
+
+/// Runs every analysis over `f` and collects the summary. A function
+/// whose CFG cannot be built (never the case for verifier-accepted
+/// modules) summarizes to zeros.
+pub fn summarize(types: &TypeTable, f: &Function) -> FactSummary {
+    let Ok(cfg) = Cfg::build(f) else {
+        return FactSummary::default();
+    };
+    let nn = nullness::analyze(types, f, &cfg);
+    let rr = range::analyze(types, f, &cfg);
+    let lv = liveness::analyze(f, &cfg);
+    let al = alias::analyze(types, f, &cfg);
+    let es = escape::analyze(f, &cfg, &al);
+    let (escape_no, escape_arg, escape_global) = es.counts(&al.sites);
+    FactSummary {
+        nullness_facts: nn.facts_computed(),
+        nullness_iterations: nn.iterations,
+        range_facts: rr.facts_computed(),
+        range_iterations: rr.iterations,
+        live_values: lv.live_count(),
+        liveness_iterations: lv.iterations,
+        alias_sites: al.sites.len() as u64,
+        alias_facts: al.facts_computed(),
+        alias_iterations: al.iterations,
+        escape_no,
+        escape_arg,
+        escape_global,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "class S {
+        static int sum() {
+            int[] v = new int[8];
+            int acc = 0;
+            for (int i = 0; i < 8; i++) { v[i] = i; acc = acc + v[i]; }
+            return acc;
+        }
+    }";
+
+    fn summary_of(src: &str, name: &str) -> FactSummary {
+        let prog = safetsa_frontend::compile(src).unwrap();
+        let lowered = safetsa_ssa::lower_program(&prog).unwrap();
+        let m = &lowered.module;
+        let fid = m.find_function(name).unwrap();
+        summarize(&m.types, m.function(fid))
+    }
+
+    #[test]
+    fn summarize_finds_facts_and_round_trips() {
+        let s = summary_of(SRC, "S.sum");
+        assert!(s.nullness_facts > 0);
+        assert!(s.range_facts > 0);
+        assert!(s.live_values > 0);
+        assert!(s.alias_sites > 0, "the array allocation is a site");
+        assert_eq!(
+            s.escape_no + s.escape_arg + s.escape_global,
+            s.alias_sites,
+            "every site is classified"
+        );
+        let flat = s.to_flat();
+        assert_eq!(FactSummary::from_flat(&flat), Some(s));
+    }
+
+    #[test]
+    fn malformed_flat_parses_to_none() {
+        let s = summary_of(SRC, "S.sum");
+        let flat = s.to_flat();
+        assert!(FactSummary::from_flat(&flat[..flat.len() / 2]).is_none());
+        assert!(FactSummary::from_flat(&format!("{flat}extra 1\n")).is_none());
+        assert!(FactSummary::from_flat("nonsense").is_none());
+        assert!(FactSummary::from_flat(&flat.replace(' ', "  ")).is_none());
+    }
+
+    #[test]
+    fn add_accumulates_fieldwise() {
+        let s = summary_of(SRC, "S.sum");
+        let mut t = s;
+        t.add(&s);
+        assert_eq!(t.range_facts, 2 * s.range_facts);
+        assert_eq!(t.live_values, 2 * s.live_values);
+        assert_eq!(t.escape_no, 2 * s.escape_no);
+    }
+}

@@ -17,7 +17,10 @@
 //! The per-program sections are byte-identical whatever `--jobs` says
 //! (scheduling never shows); the batch-level measurements — worker
 //! count, wall time vs summed task time, cache hits/misses — land in
-//! `totals.driver`.
+//! `totals.driver`. A touch-one-method incremental replay (edit one
+//! method of a multi-method corpus program, rebuild against the
+//! method-granular store) lands in `totals.incremental` — units,
+//! reused, recompiled (always 1), and the warm rebuild's wall time.
 //!
 //! The thresholds file is line-oriented: `Name max_permille
 //! [min_checks_eliminated [min_mem_removed [max_vm_steps]]]`, `#`
@@ -39,7 +42,7 @@
 //! superinstructions.
 
 use safetsa_bench::serve::{run_loadgen, LoadgenOptions};
-use safetsa_bench::{corpus_report, pair_histogram, ProgramReport};
+use safetsa_bench::{corpus_report, incremental_replay, pair_histogram, IncrementalReplay, ProgramReport};
 use safetsa_driver::batch::BatchReport;
 use safetsa_telemetry::Json;
 use std::collections::BTreeMap;
@@ -131,7 +134,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let doc = aggregate(&reports, &batch, serve.to_json());
+    let incr = run_incremental();
+    let doc = aggregate(&reports, &batch, serve.to_json(), &incr);
     if let Err(e) = std::fs::write(&out_path, doc.render_pretty()) {
         eprintln!("bench_report: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -175,7 +179,24 @@ fn main() -> ExitCode {
         serve.p50_ns / 1_000,
         serve.p99_ns / 1_000,
     );
+    println!(
+        "bench_report: incremental replay {} unit(s), {} reused / {} recompiled, warm rebuild {} us",
+        incr.units,
+        incr.reused,
+        incr.recompiled,
+        incr.warm_wall_ns / 1_000,
+    );
     ExitCode::SUCCESS
+}
+
+/// The touch-one-method replay behind `totals.incremental`, against a
+/// scratch store so the measurement never aliases `--cache-dir`.
+fn run_incremental() -> IncrementalReplay {
+    let dir = std::env::temp_dir().join(format!("safetsa-bench-incr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let r = incremental_replay(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    r
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -195,7 +216,12 @@ fn total_ratio_permille(reports: &[ProgramReport]) -> u64 {
 /// Builds the `safetsa-bench/1` aggregate: corpus totals up front
 /// (including the batch-driver measurements and the serve-daemon
 /// loadgen summary), then the full per-program metrics documents.
-fn aggregate(reports: &[ProgramReport], batch: &BatchReport, serve: Json) -> Json {
+fn aggregate(
+    reports: &[ProgramReport],
+    batch: &BatchReport,
+    serve: Json,
+    incr: &IncrementalReplay,
+) -> Json {
     let mut driver = Json::obj();
     driver.set("jobs", Json::U64(batch.jobs as u64));
     driver.set("wall_ns", Json::U64(batch.wall_ns));
@@ -270,6 +296,12 @@ fn aggregate(reports: &[ProgramReport], batch: &BatchReport, serve: Json) -> Jso
         Json::U64(reports.iter().map(|r| r.stores_eliminated).sum()),
     );
     totals.set("opt", opt);
+    let mut incremental = Json::obj();
+    incremental.set("units", Json::U64(incr.units));
+    incremental.set("reused", Json::U64(incr.reused));
+    incremental.set("recompiled", Json::U64(incr.recompiled));
+    incremental.set("warm_wall_ns", Json::U64(incr.warm_wall_ns));
+    totals.set("incremental", incremental);
 
     let mut doc = Json::obj();
     doc.set("schema", Json::Str("safetsa-bench/1".into()));

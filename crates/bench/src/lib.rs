@@ -24,7 +24,7 @@ use safetsa_codec::{decode_and_verify, encode_module, HostEnv};
 use safetsa_core::verify::verify_module;
 use safetsa_core::Module;
 use safetsa_driver::batch::{run_batch, BatchInput, BatchOptions, BatchReport};
-use safetsa_driver::passes_fingerprint;
+use safetsa_driver::{passes_fingerprint, Pipeline as DriverPipeline};
 use safetsa_frontend::hir::Program;
 use safetsa_opt::{OptStats, Passes};
 use safetsa_rt::Value;
@@ -507,4 +507,78 @@ pub fn corpus_report(jobs: usize, cache_dir: Option<&Path>) -> (Vec<ProgramRepor
         .map(|(e, item)| ProgramReport::from_metrics(e.name, &item.metrics))
         .collect();
     (reports, report)
+}
+
+/// One touch-one-method incremental replay measurement (the
+/// `totals.incremental` block in `bench_report`'s document).
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalReplay {
+    /// Units (method bodies) in the edited program's plan.
+    pub units: u64,
+    /// Units reused from the store on the warm rebuild.
+    pub reused: u64,
+    /// Units recompiled — exactly 1, the edited method.
+    pub recompiled: u64,
+    /// Wall time of the warm (post-edit) rebuild.
+    pub warm_wall_ns: u64,
+}
+
+/// Cold-populates the method-granular incremental store from the
+/// QuickSort corpus program, replays a one-method edit (`main`'s
+/// element count bumped), and measures the warm rebuild. The warm
+/// output is asserted byte-identical to a cold build of the edited
+/// source before the numbers are returned.
+///
+/// # Panics
+///
+/// Panics when any stage fails, when the replay recompiles more than
+/// the edited unit, or when warm output diverges from the cold build.
+pub fn incremental_replay(cache_dir: &Path) -> IncrementalReplay {
+    let entry = corpus()
+        .into_iter()
+        .find(|e| e.name == "QuickSort")
+        .expect("QuickSort left the corpus");
+    let edited = entry.source.replace("int n = 3000;", "int n = 3001;");
+    assert_ne!(edited, entry.source, "edit marker vanished from corpus");
+
+    let cold = DriverPipeline::new()
+        .cache(cache_dir)
+        .unwrap_or_else(|e| panic!("incremental store: {e}"));
+    cold.compile_source(entry.source)
+        .unwrap_or_else(|e| panic!("cold populate: {e}"));
+
+    let warm = DriverPipeline::new()
+        .cache(cache_dir)
+        .unwrap_or_else(|e| panic!("incremental store: {e}"));
+    let start = std::time::Instant::now();
+    let wm = warm
+        .compile_source(&edited)
+        .unwrap_or_else(|e| panic!("warm rebuild: {e}"));
+    let warm_wall_ns = start.elapsed().as_nanos() as u64;
+    let warm_bytes = warm.encode(&wm).unwrap_or_else(|e| panic!("encode: {e}"));
+
+    let plain = DriverPipeline::new();
+    let cm = plain
+        .compile_source(&edited)
+        .unwrap_or_else(|e| panic!("cold rebuild: {e}"));
+    assert_eq!(
+        warm_bytes,
+        plain.encode(&cm).unwrap_or_else(|e| panic!("encode: {e}")),
+        "warm incremental output diverged from the cold build"
+    );
+
+    let outcomes = warm.cache_report();
+    let units = outcomes.len() as u64;
+    let reused = outcomes.iter().filter(|u| u.reused).count() as u64;
+    let recompiled = units - reused;
+    assert_eq!(
+        recompiled, 1,
+        "touch-one-method replay must recompile exactly one unit"
+    );
+    IncrementalReplay {
+        units,
+        reused,
+        recompiled,
+        warm_wall_ns,
+    }
 }

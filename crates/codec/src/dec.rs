@@ -247,6 +247,33 @@ fn derive_vtable_slots(types: &mut TypeTable) -> Result<(), DecodeError> {
     Ok(())
 }
 
+/// Decodes one standalone function section (the counterpart of
+/// [`crate::enc::encode_function_section`]) against a type table that
+/// already declares `class` with the method record at `method_idx` —
+/// the signature is derived from that record, exactly as in a full
+/// module decode. The incremental store's reassembly path uses this to
+/// splice a cached method body into a freshly lowered module.
+///
+/// # Errors
+///
+/// Any structural, referential, or type violation aborts decoding —
+/// callers treat a failure as a cache miss.
+pub fn decode_function_section(
+    bytes: &[u8],
+    types: &mut TypeTable,
+    class: ClassId,
+    method_idx: usize,
+) -> Result<Function, DecodeError> {
+    let ok = types
+        .class_checked(class)
+        .is_some_and(|c| method_idx < c.methods.len());
+    if !ok {
+        return Err(DecodeError::Malformed("method record out of range".into()));
+    }
+    let mut r = BitReader::new(bytes);
+    decode_function(&mut r, types, class, method_idx)
+}
+
 const PLACEHOLDER: ValueId = ValueId(u32::MAX);
 
 struct FnDecoder<'a, 'b> {

@@ -220,6 +220,36 @@ pub fn encode_sections(m: &Module) -> Result<(Vec<u8>, Sections), EncodeError> {
     Ok((bytes, sec))
 }
 
+/// Encodes one function body as a standalone section: exactly the bits
+/// [`encode_sections`] emits for the same function inside a module
+/// stream, padded to a byte boundary.
+///
+/// The per-function encoding is *structural*: it consults the type
+/// table only through class identities, class layouts (field/method
+/// counts, signatures), and the total class count — never through
+/// interning order — so a section encoded against one table re-encodes
+/// bit-identically against any table with the same classes. This is
+/// what lets the incremental store keep per-method sections and the
+/// driver splice reused methods into freshly built modules (see
+/// DESIGN.md, "Incremental compilation").
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when the function is not in verified shape.
+pub fn encode_function_section(
+    types: &TypeTable,
+    f: &Function,
+) -> Result<(Vec<u8>, Sections), EncodeError> {
+    let mut w = BitWriter::new();
+    let mut sec = Sections::default();
+    let mut wtypes = types.clone();
+    encode_function(&mut w, &mut wtypes, f, &mut sec)?;
+    sec.functions = 1;
+    let bytes = w.into_bytes();
+    sec.total_bytes = bytes.len() as u64;
+    Ok((bytes, sec))
+}
+
 fn encode_function(
     w: &mut BitWriter,
     types: &mut TypeTable,

@@ -46,8 +46,8 @@ pub mod planes;
 pub mod refs;
 
 pub use bits::DecodeError;
-pub use dec::{decode_and_verify, decode_module, HostEnv};
-pub use enc::{encode_module, encode_sections, EncodeError, Sections};
+pub use dec::{decode_and_verify, decode_function_section, decode_module, HostEnv};
+pub use enc::{encode_function_section, encode_module, encode_sections, EncodeError, Sections};
 
 use safetsa_telemetry::Telemetry;
 

@@ -305,3 +305,59 @@ fn size_report_sanity() {
         small.len()
     );
 }
+
+/// A function section encoded standalone, decoded against a *fresh*
+/// lowering's type table, spliced in, and re-encoded as part of the
+/// whole module is byte-identical to encoding the original module —
+/// the invariant the driver's incremental store reassembly relies on.
+#[test]
+fn function_section_splice_is_byte_identical() {
+    use safetsa_codec::{decode_function_section, encode_function_section};
+    let src = "class Shape {
+        int w; int h;
+        int area() { return w * h; }
+        int perimeter() { return 2 * (w + h); }
+        static int main() {
+            Shape s = new Shape();
+            s.w = 3; s.h = 4;
+            int[] xs = new int[5];
+            int acc = 0;
+            for (int i = 0; i < 5; i++) { xs[i] = s.area() + i; }
+            for (int i = 0; i < 5; i++) { if (xs[i] % 2 == 0) acc += xs[i]; }
+            try { acc += 100 / (acc - acc); } catch (Throwable t) { acc += s.perimeter(); }
+            return acc;
+        }
+    }";
+    let prog = compile(src).expect("front-end");
+    let fresh = lower_program(&prog).expect("lowering").module;
+    let mut cold = fresh.clone();
+    safetsa_opt::optimize_module(&mut cold);
+    let cold_bytes = encode_module(&cold).expect("encodes");
+
+    let mut warm = fresh;
+    let sites: Vec<_> = warm
+        .types
+        .classes()
+        .flat_map(|(cid, c)| {
+            c.methods
+                .iter()
+                .enumerate()
+                .filter_map(move |(mi, m)| m.body.map(|fid| (cid, mi, fid as usize)))
+        })
+        .collect();
+    assert!(sites.len() >= 3, "multi-method fixture");
+    for (cid, mi, fid) in sites {
+        let (bytes, sec) =
+            encode_function_section(&cold.types, &cold.functions[fid]).expect("section encodes");
+        assert_eq!(sec.functions, 1);
+        let f = decode_function_section(&bytes, &mut warm.types, cid, mi)
+            .unwrap_or_else(|e| panic!("section decode failed: {e}"));
+        warm.functions[fid] = f;
+    }
+    verify_module(&warm).expect("spliced module verifies");
+    assert_eq!(
+        encode_module(&warm).expect("encodes"),
+        cold_bytes,
+        "spliced re-encode differs from cold build"
+    );
+}

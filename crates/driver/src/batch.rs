@@ -11,14 +11,15 @@
 //! merged metrics are a commutative sum, so neither depends on how the
 //! scheduler interleaved the workers.
 //!
-//! In front of the pool sits the content-addressed [`Cache`]: a task
-//! whose (source, configuration, format version) key has a stored
-//! entry skips compilation entirely and replays the cached wire bytes
-//! and metrics.
+//! In front of the pool sits the content-addressed [`Store`]: a task
+//! whose (source, configuration, format version, engine) key has a
+//! stored module record skips compilation entirely and replays the
+//! cached wire bytes and metrics.
 
-use crate::cache::Cache;
+use crate::store::{CacheKey, ModuleRecord, RecordKind, Store, StoreOptions};
 use crate::Error;
 use safetsa_telemetry::{AttrValue, Telemetry};
+use safetsa_vm::Engine;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -52,10 +53,16 @@ pub struct BatchOptions {
     /// Cache directory; `None` disables the cache.
     pub cache_dir: Option<PathBuf>,
     /// Configuration half of the cache key: pass knobs plus any
-    /// driver-level salt (see [`crate::cache::passes_fingerprint`]).
+    /// driver-level salt (see [`crate::store::passes_fingerprint`]).
     /// Anything that changes what the work closure produces — bytes
-    /// *or* metrics — must be folded in.
+    /// *or* metrics — must be folded in. (The wire-format version and
+    /// the [`Engine`] are folded in by [`CacheKey::new`] itself.)
     pub fingerprint: String,
+    /// The VM engine the work closure executes with, part of the cache
+    /// key: a closure that runs the compiled program records
+    /// engine-dependent `vm.*` metrics, which must not replay across
+    /// engines.
+    pub engine: Engine,
     /// Whether per-task metrics are collected (and cached).
     pub telemetry: bool,
     /// Whether per-task spans are collected: each task records on its
@@ -74,6 +81,7 @@ impl BatchOptions {
             jobs: 1,
             cache_dir: None,
             fingerprint: fingerprint.into(),
+            engine: Engine::default(),
             telemetry: false,
             trace: false,
         }
@@ -175,7 +183,7 @@ where
 {
     let started = Instant::now();
     let cache = match &opts.cache_dir {
-        Some(dir) => Some(Cache::open(dir)?),
+        Some(dir) => Some(Store::open(dir, StoreOptions::default())?),
         None => None,
     };
     let jobs = opts.effective_jobs(inputs.len());
@@ -204,14 +212,21 @@ where
         let mut tm = task_tm(idx);
         let root = tm.span_open("task");
         tm.span_attr("name", AttrValue::Str(input.name.clone()));
-        let key = Cache::key(&opts.fingerprint, input.source.as_bytes());
+        let key = CacheKey::new(
+            RecordKind::Module,
+            opts.engine,
+            &opts.fingerprint,
+            input.source.as_bytes(),
+        );
         if let Some(cache) = cache {
             let probe = tm.span_open("cache.probe");
-            let loaded = cache.load(key);
+            let loaded = cache.get_module(&key);
             tm.span_close(probe);
             // A corrupt metrics payload degrades to a miss below.
-            let replay = loaded.and_then(|(bytes, flat)| {
-                Telemetry::import_flat(&flat).ok().map(|m| (bytes, m))
+            let replay = loaded.and_then(|rec| {
+                Telemetry::import_flat(&rec.metrics)
+                    .ok()
+                    .map(|m| (rec.bytes, m))
             });
             if let Some((bytes, metrics)) = replay {
                 tm.event("cache.probe.done", &[("hit", AttrValue::Bool(true))]);
@@ -240,7 +255,11 @@ where
             // cache-off operation for this task: the artifact is still
             // produced, and the degradation is counted in the merged
             // `cache.degraded` metric.
-            if !cache.store_degrading(key, &bytes, &tm.export_flat()) {
+            let rec = ModuleRecord {
+                bytes: bytes.clone(),
+                metrics: tm.export_flat(),
+            };
+            if !cache.put_module_degrading(&key, &rec) {
                 degraded.fetch_add(1, Ordering::Relaxed);
             }
         }

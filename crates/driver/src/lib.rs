@@ -11,22 +11,28 @@
 //!   with `Display` and `source()`.
 //! * [`batch`] — the parallel batch-compilation driver: a
 //!   `std::thread::scope` worker pool with per-worker telemetry,
-//!   deterministic merging, and a content-addressed module [`cache`]
-//!   keyed on (source bytes, pass configuration, wire-format version).
+//!   deterministic merging, and content-addressed module records in
+//!   the [`store`].
+//! * [`store`] — the typed, method-granular incremental store
+//!   (`safetsa-cache/2`): per-unit encoded sections, optimizer stats,
+//!   and analysis-fact summaries, validated by structural dependency
+//!   signatures instead of file identity.
 //!
 //! SSA's referential transparency is what makes the batch driver
 //! trivially correct: each module's compilation is a pure function of
-//! its own source, so modules parallelize without synchronization and
-//! cache without invalidation logic.
+//! its own source, so modules parallelize without synchronization; the
+//! per-method store sharpens that to "each *method* is a pure function
+//! of its body and the layouts it references" (see DESIGN.md,
+//! "Incremental compilation").
 
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod cache;
 mod error;
 mod pipeline;
+pub mod store;
 
 pub use batch::{run_batch, BatchInput, BatchItem, BatchOptions, BatchReport};
-pub use cache::{passes_fingerprint, Cache};
 pub use error::Error;
-pub use pipeline::{Pipeline, RunOutcome};
+pub use pipeline::{Pipeline, RunOutcome, UnitOutcome};
+pub use store::{passes_fingerprint, CacheKey, RecordKind, Store, StoreOptions};

@@ -8,16 +8,22 @@
 //! the pipeline's [`Telemetry`] registry (free when disabled) and
 //! reports failures through the unified [`Error`].
 
+use crate::store::{
+    self, passes_fingerprint, CacheKey, RecordKind, Store, StoreOptions, UnitIdentity, UnitRecord,
+};
 use crate::Error;
-use safetsa_codec::HostEnv;
+use safetsa_analysis::FactSummary;
+use safetsa_codec::{decode_function_section, encode_function_section, HostEnv};
 use safetsa_core::verify::{verify_module, VerifyStats};
 use safetsa_core::Module;
 use safetsa_frontend::hir::Program;
-use safetsa_opt::{OptStats, Passes};
+use safetsa_opt::{record_stats, OptStats, Passes};
 use safetsa_rt::Value;
 use safetsa_ssa::Lowered;
 use safetsa_telemetry::Telemetry;
 use safetsa_vm::{Engine, ResourceLimits, Vm, VmError, VmProfile};
+use std::path::Path;
+use std::sync::Mutex;
 
 /// A configured SafeTSA pipeline: one object that can take source text
 /// all the way to wire bytes and back to an executed result.
@@ -45,6 +51,22 @@ pub struct Pipeline {
     deadline: Option<std::time::Instant>,
     profile_every: Option<u32>,
     engine: Engine,
+    store: Option<Store>,
+    unit_outcomes: Mutex<Vec<UnitOutcome>>,
+}
+
+/// One unit's fate in the last cached compile — what
+/// `safetsa compile --explain-cache` reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitOutcome {
+    /// The unit's stable identity (`Class.method`).
+    pub name: String,
+    /// Whether the unit was reused from the store.
+    pub reused: bool,
+    /// Why: `hit`, `new` (never seen), `body-changed`, `dep-changed`
+    /// (same body, a referenced layout moved), or `evicted` (signature
+    /// unchanged but the record was gone or unreadable).
+    pub why: &'static str,
 }
 
 /// Producer-side optimization setting.
@@ -86,6 +108,7 @@ impl Pipeline {
     }
 
     /// Selects the producer-side optimization passes.
+    #[must_use]
     pub fn passes(mut self, passes: Passes) -> Pipeline {
         self.passes = PassConfig::Optimize(passes);
         self
@@ -94,6 +117,7 @@ impl Pipeline {
     /// Disables the optimizer stage entirely: [`Pipeline::compile_source`]
     /// returns the freshly constructed SSA and records no `opt.*`
     /// metrics (what the CLI's `--no-opt` and `dump`/`analyze` want).
+    #[must_use]
     pub fn no_optimize(mut self) -> Pipeline {
         self.passes = PassConfig::Skip;
         self
@@ -101,6 +125,7 @@ impl Pipeline {
 
     /// Installs a telemetry registry; pass [`Telemetry::enabled`] to
     /// collect per-stage metrics, which [`Pipeline::metrics`] exposes.
+    #[must_use]
     pub fn telemetry(mut self, tm: Telemetry) -> Pipeline {
         self.tm = tm;
         self
@@ -108,6 +133,7 @@ impl Pipeline {
 
     /// Sets the consumer-side resource budgets applied by
     /// [`Pipeline::run`].
+    #[must_use]
     pub fn limits(mut self, limits: ResourceLimits) -> Pipeline {
         self.limits = limits;
         self
@@ -118,6 +144,7 @@ impl Pipeline {
     /// and aborts with a `deadline_exceeded` failure once it passes.
     /// The serve daemon stamps each request with its admission deadline
     /// this way, so no request can hold a worker forever.
+    #[must_use]
     pub fn deadline(mut self, deadline: std::time::Instant) -> Pipeline {
         self.deadline = Some(deadline);
         self
@@ -127,6 +154,7 @@ impl Pipeline {
     /// default is [`Engine::Threaded`] (the pre-decoded direct-threaded
     /// core); [`Engine::Switch`] keeps the original match-on-enum
     /// interpreter available as a differential oracle.
+    #[must_use]
     pub fn engine(mut self, engine: Engine) -> Pipeline {
         self.engine = engine;
         self
@@ -136,9 +164,27 @@ impl Pipeline {
     /// `every_slices` fuel slices the VM records the current function
     /// and opcode window (see [`safetsa_vm::VmProfile`]), and the
     /// resulting profile is returned in [`RunOutcome::profile`].
+    #[must_use]
     pub fn profile_every(mut self, every_slices: u32) -> Pipeline {
         self.profile_every = Some(every_slices);
         self
+    }
+
+    /// Attaches the method-granular incremental store rooted at `dir`
+    /// (created if missing): [`Pipeline::compile_source`] /
+    /// [`Pipeline::compile_sources`] then reuse per-method optimized
+    /// sections whose body and dependency-signature hashes match a
+    /// stored unit, recompiling only what an edit invalidated — with
+    /// output byte-identical to a cold build. Per-unit outcomes land in
+    /// [`Pipeline::cache_report`] and the `cache.unit.*` telemetry
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the store directory cannot be opened.
+    pub fn cache(mut self, dir: impl AsRef<Path>) -> Result<Pipeline, Error> {
+        self.store = Some(Store::open(dir.as_ref(), StoreOptions::default())?);
+        Ok(self)
     }
 
     /// The failure the compile-side stages report when the configured
@@ -226,14 +272,135 @@ impl Pipeline {
         })
     }
 
+    /// Per-unit outcomes of the last cached compile (empty without a
+    /// [`Pipeline::cache`] store): which methods were reused, which
+    /// recompiled, and why.
+    pub fn cache_report(&self) -> Vec<UnitOutcome> {
+        self.unit_outcomes.lock().map(|v| v.clone()).unwrap_or_default()
+    }
+
+    /// The incremental optimize stage: consult the store per unit,
+    /// splice reused sections, recompile the rest, and store what was
+    /// fresh. Metric totals (the `opt.*` plane) match a cold build
+    /// exactly because reused units replay the per-unit [`OptStats`]
+    /// the original compilation recorded.
+    fn optimize_incremental(&self, store: &Store, m: &mut Module, passes: Passes) -> OptStats {
+        self.tm.span("optimize", || {
+            let Ok(plan) = store::unit_plan(m) else {
+                // Planning failure (an unencodable body — never the
+                // case for lowered modules) degrades to the plain path.
+                return safetsa_opt::optimize(m, passes, &self.tm);
+            };
+            let fingerprint = passes_fingerprint(&passes);
+            let mut outcomes = Vec::with_capacity(plan.len());
+            let (mut hits, mut misses, mut invalidated) = (0u64, 0u64, 0u64);
+            let (total, facts) = self.tm.time("opt.optimize_ns", || {
+                let mut total = OptStats::default();
+                let mut facts = FactSummary::default();
+                for u in &plan {
+                    let mut content = [0u8; 16];
+                    content[..8].copy_from_slice(&u.body_hash.to_le_bytes());
+                    content[8..].copy_from_slice(&u.deps_hash.to_le_bytes());
+                    let key =
+                        CacheKey::new(RecordKind::Unit, self.engine, &fingerprint, &content);
+                    let ident_key = CacheKey::new(
+                        RecordKind::UnitIdentity,
+                        self.engine,
+                        &fingerprint,
+                        u.name.as_bytes(),
+                    );
+                    // A stored section that fails to decode against the
+                    // fresh type table is corruption: treat as a miss.
+                    let cached = store.get_unit(&key).and_then(|rec| {
+                        decode_function_section(&rec.section, &mut m.types, u.class, u.method_idx)
+                            .ok()
+                            .map(|f| (f, rec))
+                    });
+                    match cached {
+                        Some((f, rec)) => {
+                            m.functions[u.func] = f;
+                            total.add(&rec.stats);
+                            facts.add(&rec.facts);
+                            hits += 1;
+                            outcomes.push(UnitOutcome {
+                                name: u.name.clone(),
+                                reused: true,
+                                why: "hit",
+                            });
+                        }
+                        None => {
+                            misses += 1;
+                            let why = match store.get_identity(&ident_key) {
+                                None => "new",
+                                Some(prev) if prev.body_hash != u.body_hash => "body-changed",
+                                Some(prev) if prev.deps_hash != u.deps_hash => {
+                                    invalidated += 1;
+                                    "dep-changed"
+                                }
+                                Some(_) => "evicted",
+                            };
+                            let (g, stats) = safetsa_opt::optimize_function(
+                                &m.types,
+                                &m.functions[u.func],
+                                passes,
+                            );
+                            let fsum = safetsa_analysis::summarize(&m.types, &g);
+                            if let Ok((section, _)) = encode_function_section(&m.types, &g) {
+                                store.put_unit_degrading(
+                                    &key,
+                                    &UnitRecord {
+                                        section,
+                                        stats,
+                                        facts: fsum,
+                                    },
+                                );
+                            }
+                            m.functions[u.func] = g;
+                            total.add(&stats);
+                            facts.add(&fsum);
+                            outcomes.push(UnitOutcome {
+                                name: u.name.clone(),
+                                reused: false,
+                                why,
+                            });
+                        }
+                    }
+                    store.put_identity_degrading(
+                        &ident_key,
+                        &UnitIdentity {
+                            body_hash: u.body_hash,
+                            deps_hash: u.deps_hash,
+                        },
+                    );
+                }
+                (total, facts)
+            });
+            record_stats(&total, &passes, &self.tm);
+            record_facts(&facts, &self.tm);
+            self.tm.add("cache.unit.hits", hits);
+            self.tm.add("cache.unit.misses", misses);
+            self.tm.add("cache.unit.invalidated_by_dep", invalidated);
+            if let Ok(mut slot) = self.unit_outcomes.lock() {
+                *slot = outcomes;
+            }
+            total
+        })
+    }
+
     /// Runs the configured optimization passes in place (a no-op under
-    /// [`Pipeline::no_optimize`]).
+    /// [`Pipeline::no_optimize`]). With a [`Pipeline::cache`] store
+    /// attached this is the incremental path: units whose body and
+    /// dependency signatures match a stored record are spliced in
+    /// instead of re-optimized.
     pub fn optimize(&self, m: &mut Module) -> OptStats {
-        match self.passes {
-            PassConfig::Optimize(passes) => self
+        match (&self.store, self.passes) {
+            (Some(store), PassConfig::Optimize(passes)) => {
+                self.optimize_incremental(store, m, passes)
+            }
+            (None, PassConfig::Optimize(passes)) => self
                 .tm
                 .span("optimize", || safetsa_opt::optimize(m, passes, &self.tm)),
-            PassConfig::Skip => OptStats::default(),
+            (_, PassConfig::Skip) => OptStats::default(),
         }
     }
 
@@ -306,6 +473,27 @@ impl Pipeline {
             profile,
         })
     }
+}
+
+/// Records one [`FactSummary`] into the `facts.*` counter plane — the
+/// shared-analysis payoff made visible: on a warm run these counters
+/// replay from the store without re-running any fixpoint.
+fn record_facts(s: &FactSummary, tm: &Telemetry) {
+    if !tm.is_enabled() {
+        return;
+    }
+    tm.add("facts.nullness.facts", s.nullness_facts);
+    tm.add("facts.nullness.iterations", s.nullness_iterations);
+    tm.add("facts.range.facts", s.range_facts);
+    tm.add("facts.range.iterations", s.range_iterations);
+    tm.add("facts.liveness.live", s.live_values);
+    tm.add("facts.liveness.iterations", s.liveness_iterations);
+    tm.add("facts.alias.sites", s.alias_sites);
+    tm.add("facts.alias.facts", s.alias_facts);
+    tm.add("facts.alias.iterations", s.alias_iterations);
+    tm.add("facts.escape.no", s.escape_no);
+    tm.add("facts.escape.arg", s.escape_arg);
+    tm.add("facts.escape.global", s.escape_global);
 }
 
 #[cfg(test)]

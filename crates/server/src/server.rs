@@ -37,7 +37,8 @@ use crate::flight::{FlightRecord, FlightRecorder};
 use crate::protocol::{self, Op, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServeStats;
-use safetsa_driver::{passes_fingerprint, Cache, Error, Pipeline};
+use safetsa_driver::store::{CacheKey, ModuleRecord, RecordKind, Store, StoreOptions};
+use safetsa_driver::{passes_fingerprint, Error, Pipeline};
 use safetsa_opt::Passes;
 use safetsa_telemetry::{AttrValue, Json, Telemetry};
 use safetsa_vm::{ResourceLimits, VmError, VmProfile};
@@ -242,7 +243,7 @@ struct Shared {
     stop: AtomicBool,
     /// External stop flag (set by the signal handler).
     shutdown_requested: Arc<AtomicBool>,
-    cache: Option<Cache>,
+    cache: Option<Store>,
     fingerprint: String,
     default_tenant: TenantProfile,
     tenants: Vec<(String, TenantProfile)>,
@@ -363,7 +364,7 @@ impl Server {
             }
         };
         let cache = match &cfg.cache_dir {
-            Some(dir) => Some(Cache::open(dir)?),
+            Some(dir) => Some(Store::open(dir, StoreOptions::default())?),
             None => None,
         };
         let shared = Arc::new(Shared {
@@ -923,9 +924,14 @@ fn op_compile(job: &Job, shared: &Arc<Shared>, pipeline: &Pipeline) -> Result<Js
     let req = &job.req;
     let src = require(&req.source, "source")?;
     let tm = pipeline.metrics();
-    let key = Cache::key(&shared.fingerprint, src.as_bytes());
+    let key = CacheKey::new(
+        RecordKind::Module,
+        shared.engine,
+        &shared.fingerprint,
+        src.as_bytes(),
+    );
     let probe = tm.span_open("cache.probe");
-    let hit = shared.cache.as_ref().and_then(|c| c.load(key));
+    let hit = shared.cache.as_ref().and_then(|c| c.get_module(&key));
     tm.event(
         "cache.probe.done",
         &[("hit", AttrValue::Bool(hit.is_some()))],
@@ -933,16 +939,20 @@ fn op_compile(job: &Job, shared: &Arc<Shared>, pipeline: &Pipeline) -> Result<Js
     tm.span_close(probe);
     let mut cached = false;
     let bytes = match hit {
-        Some((bytes, _metrics)) => {
+        Some(rec) => {
             shared.stats.bump(&shared.stats.cache_hits);
             cached = true;
-            bytes
+            rec.bytes
         }
         None => {
             let module = pipeline.compile_source(src)?;
             let bytes = pipeline.encode(&module)?;
             if let Some(cache) = &shared.cache {
-                if !cache.store_degrading(key, &bytes, &tm.export_flat()) {
+                let rec = ModuleRecord {
+                    bytes: bytes.clone(),
+                    metrics: tm.export_flat(),
+                };
+                if !cache.put_module_degrading(&key, &rec) {
                     shared.stats.bump(&shared.stats.cache_degraded);
                 }
             }
@@ -952,7 +962,7 @@ fn op_compile(job: &Job, shared: &Arc<Shared>, pipeline: &Pipeline) -> Result<Js
     let mut payload = Json::obj();
     payload.set("cached", Json::Bool(cached));
     payload.set("bytes", Json::U64(bytes.len() as u64));
-    payload.set("key", Json::Str(format!("{key:016x}")));
+    payload.set("key", Json::Str(format!("{:016x}", key.hash())));
     if req.want_bytes {
         payload.set("tsa", Json::Str(protocol::to_hex(&bytes)));
     }

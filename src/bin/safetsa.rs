@@ -10,6 +10,10 @@
 //!     its own module on N workers (0 = one per CPU) behind a
 //!     content-addressed cache; with several inputs, -o names a
 //!     directory that receives one <stem>.tsa per input
+//!     [--cache-dir PATH --explain-cache]   method-granular incremental
+//!     mode: all inputs form one program cached per method; prints each
+//!     unit's hit/miss and why (hit, new, body-changed, dep-changed,
+//!     evicted)
 //! safetsa run <file.tsa|file.java> --entry Class.method  decode/verify/run
 //!     [--fuel N] [--max-heap BYTES] [--max-depth N]   resource budgets;
 //!     a resource report (steps, fuel remaining, bytes, peak depth)
@@ -75,7 +79,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: safetsa <compile|run|dump|stats|analyze|verify|serve> ...");
             eprintln!("  compile <in.java>... -o <out.tsa> [--no-opt] [--metrics-json PATH]");
-            eprintln!("      [--trace-json PATH] [--jobs N] [--cache-dir PATH]");
+            eprintln!("      [--trace-json PATH] [--jobs N] [--cache-dir PATH] [--explain-cache]");
             eprintln!("  run <file.tsa|file.java> --entry Class.method");
             eprintln!("      [--fuel N] [--max-heap BYTES] [--max-depth N] [--metrics-json PATH]");
             eprintln!("      [--trace-json PATH] [--engine switch|threaded]");
@@ -246,11 +250,22 @@ fn cmd_compile(args: &[String]) -> Result<(), Error> {
     let trace_path = flag_value(args, "--trace-json");
     let jobs: Option<usize> = parse_flag(args, "--jobs")?;
     let cache_dir = flag_value(args, "--cache-dir");
+    let explain_cache = args.iter().any(|a| a == "--explain-cache");
     let sources = positional(args);
     if sources.is_empty() {
         return Err("no input files".into());
     }
-    if jobs.is_some() || cache_dir.is_some() {
+    if explain_cache {
+        // Per-unit incremental mode: all inputs form one program,
+        // cached method-by-method (vs. batch's whole-module records).
+        if jobs.is_some() {
+            return Err("--explain-cache uses the in-process incremental store (drop --jobs)".into());
+        }
+        if cache_dir.is_none() {
+            return Err("--explain-cache requires --cache-dir PATH".into());
+        }
+    }
+    if jobs.is_some() || (cache_dir.is_some() && !explain_cache) {
         return compile_batch(
             &sources,
             out,
@@ -262,7 +277,10 @@ fn cmd_compile(args: &[String]) -> Result<(), Error> {
         );
     }
     let tm = configure_telemetry(metrics_path.is_some(), trace_path.is_some());
-    let pipeline = configure_pipeline(optimize, tm);
+    let mut pipeline = configure_pipeline(optimize, tm);
+    if let Some(dir) = cache_dir {
+        pipeline = pipeline.cache(dir)?;
+    }
     let built = build_module(&sources, &pipeline)?;
     let bytes = pipeline.encode(&built.module)?;
     std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
@@ -281,6 +299,28 @@ fn cmd_compile(args: &[String]) -> Result<(), Error> {
         built.module.instr_count(),
         built.module.phi_count()
     );
+    if explain_cache {
+        let units = pipeline.cache_report();
+        if units.is_empty() {
+            println!("cache: no units (the store engages only when optimization is on)");
+        } else {
+            let reused = units.iter().filter(|u| u.reused).count();
+            println!(
+                "cache: {} unit(s), {} reused, {} recompiled",
+                units.len(),
+                reused,
+                units.len() - reused
+            );
+            for u in &units {
+                println!(
+                    "  {} {:<12} {}",
+                    if u.reused { "reuse  " } else { "compile" },
+                    u.why,
+                    u.name
+                );
+            }
+        }
+    }
     Ok(())
 }
 
